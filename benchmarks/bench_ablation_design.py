@@ -1,0 +1,81 @@
+"""Ablation benchmark: supernet design choices (DESIGN.md §5).
+
+Not a paper table — it audits the implementation decisions this
+reproduction had to make where the paper is silent:
+
+* per-op output normalisation in the mixture (on vs. off),
+* cosine-annealed vs. constant weight learning rate during search,
+* supernet hidden size (16 vs. 32).
+
+Each variant searches once on the Cora analogue and retrains its
+derived architecture twice; the printed table records the derived
+architecture and its mean test accuracy. Assertions are structural
+(valid architectures, sane scores) — the point is the comparison
+record, not a winner.
+"""
+
+import numpy as np
+
+from repro.core.derive import retrain
+from repro.core.search import SaneSearcher, SearchConfig
+from repro.core.search_space import SearchSpace
+from repro.experiments.results import render_table
+from repro.graph.datasets import load_dataset
+from repro.train.trainer import TrainConfig
+
+from common import bench_scale, show
+
+VARIANTS = (
+    ("baseline", {}),
+    ("normalize-ops", {"normalize_ops": True}),
+    ("cosine-lr", {"w_lr_schedule": "cosine"}),
+    ("hidden-16", {"hidden_dim": 16}),
+)
+
+
+def run_ablation(scale):
+    graph = load_dataset("cora", seed=0, scale=scale.dataset_scale)
+    train_config = TrainConfig(epochs=scale.train_epochs, patience=scale.train_patience)
+    space = SearchSpace(num_layers=3)
+    epochs = max(20, scale.search_epochs // 2)
+
+    rows = {}
+    for name, overrides in VARIANTS:
+        kwargs = {"epochs": epochs, "hidden_dim": scale.search_hidden_dim}
+        kwargs.update(overrides)
+        config = SearchConfig(**kwargs)
+        result = SaneSearcher(space, graph, config, seed=0).search()
+        scores = [
+            retrain(
+                result.architecture,
+                graph,
+                seed=seed,
+                hidden_dim=scale.hidden_dim,
+                dropout=0.5,
+                train_config=train_config,
+            ).test_score
+            for seed in range(2)
+        ]
+        rows[name] = (result.architecture, float(np.mean(scores)), result.search_time)
+    return rows
+
+
+def test_ablation_design_choices(benchmark):
+    scale = bench_scale()
+    rows = benchmark.pedantic(lambda: run_ablation(scale), rounds=1, iterations=1)
+
+    table = render_table(
+        ["variant", "test acc", "search s", "architecture"],
+        [
+            [name, f"{score:.4f}", f"{seconds:.1f}", str(arch)]
+            for name, (arch, score, seconds) in rows.items()
+        ],
+        title="Design-choice ablation (Cora analogue)",
+    )
+    show("Ablation — supernet design choices", table)
+
+    space = SearchSpace(num_layers=3)
+    chance = 1.0 / 7
+    for name, (arch, score, __) in rows.items():
+        assert space.contains(arch), name
+        assert score > chance + 0.3, f"{name} failed to learn: {score:.3f}"

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 3 (test score vs. search time).
+
+Shape assertions: the SANE anytime curve finishes earlier on the time
+axis than every trial-and-error trajectory while reaching a comparable
+final score — the "orders of magnitude" efficiency picture of the
+paper (scaled to our candidate budget).
+"""
+
+from repro.experiments import run_figure3
+
+from common import bench_scale, show
+
+DATASETS = ("cora", "citeseer", "pubmed", "ppi")
+
+
+def test_figure3_efficiency_trajectories(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_figure3(scale, datasets=DATASETS), rounds=1, iterations=1
+    )
+    show("Figure 3 — score vs search time", result.render())
+
+    for dataset in DATASETS:
+        methods = result.trajectories[dataset]
+        sane_end = methods["sane"][-1][0]
+        for method in ("random", "bayesian", "graphnas"):
+            other_end = methods[method][-1][0]
+            assert other_end > sane_end, (
+                f"{dataset}: {method} finished at {other_end:.1f}s, "
+                f"sane at {sane_end:.1f}s"
+            )
+        # SANE's final score is competitive with the best baseline.
+        finals = result.final_scores(dataset)
+        best_other = max(v for k, v in finals.items() if k != "sane")
+        assert finals["sane"] >= best_other - 0.07, (
+            f"{dataset}: sane={finals['sane']:.3f} vs {best_other:.3f}"
+        )

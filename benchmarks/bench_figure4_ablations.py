@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Figure 4 (ε-explore and depth-K ablations).
+
+These sweeps run the full SANE pipeline dozens of times, so they use a
+reduced single-search-seed variant of the configured scale. Shape
+assertions:
+
+* Fig. 4a — pure gradient search (ε=0) beats pure random sampling with
+  weight sharing (ε=1) on average across datasets;
+* Fig. 4b — accuracy peaks at a small-to-moderate depth: some K in
+  2..4 beats both the K=1 and the K=6 extremes on average
+  (over-smoothing at depth, underreach at K=1).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.experiments import run_figure4a, run_figure4b
+
+from common import bench_scale, show
+
+DATASETS = ("cora", "citeseer", "pubmed", "ppi")
+
+
+def ablation_scale():
+    scale = bench_scale()
+    return dataclasses.replace(
+        scale,
+        search_seeds=1,
+        repeats=min(2, scale.repeats),
+        search_epochs=max(10, scale.search_epochs // 2),
+        dataset_scale=min(scale.dataset_scale, 0.7),
+    )
+
+
+def test_figure4a_epsilon_ablation(benchmark):
+    scale = ablation_scale()
+    result = benchmark.pedantic(
+        lambda: run_figure4a(scale, datasets=DATASETS, epsilons=(0.0, 0.5, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    show("Figure 4a — test score vs epsilon", result.render())
+
+    gaps = []
+    for dataset in DATASETS:
+        means = result.means(dataset)
+        gaps.append(means[0.0] - means[1.0])
+    assert np.mean(gaps) > -0.02, (
+        f"epsilon=0 not better than epsilon=1 on average: gaps={gaps}"
+    )
+
+
+def test_figure4b_depth_ablation(benchmark):
+    scale = ablation_scale()
+    depths = (1, 3, 6)
+    result = benchmark.pedantic(
+        lambda: run_figure4b(scale, datasets=DATASETS, depths=depths),
+        rounds=1,
+        iterations=1,
+    )
+    show("Figure 4b — test score vs K", result.render())
+
+    mid_scores, edge_scores = [], []
+    for dataset in DATASETS:
+        means = result.means(dataset)
+        mid_scores.append(means[3])
+        edge_scores.append(max(means[1], means[6]))
+    assert np.mean(mid_scores) >= np.mean(edge_scores) - 0.02, (
+        f"no interior peak at K=3: mid={mid_scores} edges={edge_scores}"
+    )

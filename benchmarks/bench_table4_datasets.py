@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table IV/V (dataset statistics)."""
+
+from repro.experiments import run_table4
+
+from common import bench_scale, show
+
+
+def test_table4_dataset_statistics(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_table4(scale), rounds=1, iterations=1
+    )
+    show("Table IV / V — dataset statistics", result.render())
+
+    names = {row["dataset"] for row in result.node_rows}
+    assert names == {"cora", "citeseer", "pubmed", "ppi"}
+    # Class counts must match the paper's datasets.
+    by_name = {row["dataset"]: row for row in result.node_rows}
+    assert by_name["cora"]["C"] == 7
+    assert by_name["citeseer"]["C"] == 6
+    assert by_name["pubmed"]["C"] == 3
+    # The EN view is larger than the ZH view, as in DBP15K.
+    assert result.kg_stats["kg2"]["entities"] > result.kg_stats["kg1"]["entities"]

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Table VI (the headline performance comparison).
+
+Shape assertions mirror Section IV-B:
+* SANE is at least competitive with the best baseline on every dataset
+  (within a small tolerance — synthetic data + reduced budgets add
+  noise the paper's 5-seed protocol averages away);
+* adding JK-Network improves the base models on average;
+* there is no absolute winner among human-designed baselines.
+"""
+
+import numpy as np
+
+from repro.experiments import HUMAN_BASELINES, run_table6
+
+from common import bench_scale, show
+
+DATASETS = ("cora", "citeseer", "pubmed", "ppi")
+
+
+def test_table6_performance(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_table6(scale, datasets=DATASETS), rounds=1, iterations=1
+    )
+    show("Table VI — performance comparison", result.render())
+    table = result.table
+
+    for dataset in DATASETS:
+        best_human = max(table.mean(m, dataset) for m in HUMAN_BASELINES)
+        sane = table.mean("sane", dataset)
+        # SANE should match or beat the best human baseline (tolerance
+        # for the reduced-budget noise floor).
+        assert sane >= best_human - 0.05, (
+            f"{dataset}: sane={sane:.3f} vs best human={best_human:.3f}"
+        )
+
+    # JK variants improve their bases on average (paper Section IV-B1).
+    jk_gains = []
+    for dataset in DATASETS:
+        for base in ("gcn", "sage", "gat", "gin", "geniepath"):
+            jk_gains.append(
+                table.mean(f"{base}-jk", dataset) - table.mean(base, dataset)
+            )
+    assert np.mean(jk_gains) > 0, f"mean JK gain {np.mean(jk_gains):.4f}"
+
+    # No absolute winner among human-designed baselines across datasets.
+    winners = {table.best_row("cora"), table.best_row("ppi")}
+    assert len(winners) >= 1  # recorded for the report; strict check below
+    human_winners = {
+        max(HUMAN_BASELINES, key=lambda m: table.mean(m, ds)) for ds in DATASETS
+    }
+    assert len(human_winners) >= 2, f"single human winner: {human_winners}"

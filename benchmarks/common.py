@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*`` module regenerates one paper table/figure: the heavy
+experiment runs exactly once inside ``benchmark.pedantic(rounds=1)``
+(so pytest-benchmark reports its wall-clock) and the rendered table is
+printed for EXPERIMENTS.md. Scale comes from ``REPRO_SCALE``
+(``smoke`` / ``default`` / ``full``; default ``default``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.config import SCALES, Scale
+
+__all__ = ["bench_scale", "show"]
+
+
+def bench_scale() -> Scale:
+    """Scale preset for benchmarks (env-controlled)."""
+    name = os.environ.get("REPRO_SCALE", "default")
+    return SCALES[name]
+
+
+def show(title: str, text: str) -> None:
+    """Print a regenerated table with a banner (visible with ``-s``)."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,72 @@
+"""DB task: cross-lingual entity alignment (paper Section IV-D).
+
+Aligns entities between two synthetic language views of one knowledge
+base. Compares a JAPE-like joint-embedding baseline, GCN-Align, and a
+SANE-searched combination of node aggregators (2-layer encoder, no
+layer aggregator — exactly the paper's DB-task configuration).
+
+Run:  python examples/entity_alignment.py
+"""
+
+import numpy as np
+
+from repro.kg import (
+    AlignConfig,
+    AlignSearchConfig,
+    EmbeddingAligner,
+    GNNAligner,
+    generate_alignment_dataset,
+    search_alignment,
+    train_aligner,
+)
+
+
+def report(name, hits):
+    zh = hits["zh->en"]
+    en = hits["en->zh"]
+    print(
+        f"  {name:10s} ZH->EN @1/@10/@50 = "
+        f"{100 * zh[1]:5.2f} / {100 * zh[10]:5.2f} / {100 * zh[50]:5.2f}   "
+        f"EN->ZH = {100 * en[1]:5.2f} / {100 * en[10]:5.2f} / {100 * en[50]:5.2f}"
+    )
+
+
+def main():
+    dataset = generate_alignment_dataset(seed=0)
+    stats = dataset.statistics()
+    print(f"Bilingual KG pair: {stats['kg1']} / {stats['kg2']}")
+    print(f"Alignment links (train/val/test): {stats['links']}")
+
+    config = AlignConfig()
+    dim = config.embedding_dim
+
+    print("\nHits@k (percent):")
+    jape = EmbeddingAligner(dataset, dim, np.random.default_rng(0))
+    report("JAPE-like", train_aligner(jape, dataset, config, seed=0).test_hits)
+
+    gcn_align = GNNAligner(dataset, ["gcn", "gcn"], dim, np.random.default_rng(0))
+    report("GCN-Align", train_aligner(gcn_align, dataset, config, seed=0).test_hits)
+
+    # SANE: following the paper's protocol, run the search with several
+    # seeds, retrain each derived encoder, and keep the best by
+    # validation Hits@1 (with a lightly tuned margin, as the paper
+    # tunes hyper-parameters with hyperopt).
+    tuned = config.replace(margin=0.5, num_negatives=12)
+    best = None
+    for seed in range(3):
+        searched = search_alignment(dataset, AlignSearchConfig(epochs=40), seed=seed)
+        model = GNNAligner(
+            dataset, list(searched.node_aggregators), dim, np.random.default_rng(0)
+        )
+        result = train_aligner(model, dataset, tuned, seed=0)
+        print(f"  search seed {seed}: {' -> '.join(searched.node_aggregators)} "
+              f"(val Hits@1 = {result.val_hits1:.3f})")
+        if best is None or result.val_hits1 > best[0]:
+            best = (result.val_hits1, searched.node_aggregators, result)
+
+    print(f"\nSelected encoder: {' -> '.join(best[1])}")
+    report("SANE", best[2].test_hits)
+
+
+if __name__ == "__main__":
+    main()

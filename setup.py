@@ -1,0 +1,9 @@
+"""Setup shim for environments without the wheel package.
+
+Metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` style installs offline.
+"""
+
+from setuptools import setup
+
+setup()

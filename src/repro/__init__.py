@@ -1,0 +1,49 @@
+"""repro — a from-scratch reproduction of SANE (ICDE 2021).
+
+"Search to Aggregate NEighborhood for Graph Neural Network"
+(Zhao, Yao, Tu), rebuilt in pure numpy: autograd engine, GNN layer
+library, the SANE differentiable search, trial-and-error NAS
+baselines, synthetic benchmark datasets and the full experiment
+harness for every table and figure of the paper.
+
+Quickstart::
+
+    from repro.core import SearchSpace, SaneSearcher, SearchConfig, retrain
+    from repro.graph import load_dataset
+
+    graph = load_dataset("cora")
+    searcher = SaneSearcher(SearchSpace(num_layers=3), graph,
+                            SearchConfig(epochs=40), seed=0)
+    result = searcher.search()
+    print(result.architecture)                 # the derived GNN
+    print(retrain(result.architecture, graph)) # retrained from scratch
+"""
+
+__version__ = "1.0.0"
+
+from repro import (
+    autograd,
+    core,
+    experiments,
+    gnn,
+    graph,
+    graphclf,
+    kg,
+    nas,
+    nn,
+    train,
+)
+
+__all__ = [
+    "autograd",
+    "nn",
+    "graph",
+    "gnn",
+    "core",
+    "nas",
+    "kg",
+    "train",
+    "experiments",
+    "graphclf",
+    "__version__",
+]

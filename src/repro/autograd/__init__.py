@@ -1,0 +1,21 @@
+"""Reverse-mode autodiff substrate (numpy-backed PyTorch stand-in)."""
+
+from repro.autograd.tensor import (
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+from repro.autograd import ops, functional, scatter
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "ops",
+    "functional",
+    "scatter",
+]

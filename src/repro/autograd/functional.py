@@ -1,0 +1,139 @@
+"""Neural-network functional layer: activations, softmax family, losses.
+
+Everything here is a composite of the primitives in
+:mod:`repro.autograd.ops`, so gradients come for free and are covered
+by the same finite-difference test harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "tanh",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "nll_loss",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "ACTIVATIONS",
+]
+
+
+def relu(x) -> Tensor:
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(np.float64)
+    return Tensor._from_op(x.data * mask, (x,), lambda g: (g * mask,))
+
+
+def leaky_relu(x, negative_slope: float = 0.2) -> Tensor:
+    x = as_tensor(x)
+    factor = np.where(x.data > 0, 1.0, negative_slope)
+    return Tensor._from_op(x.data * factor, (x,), lambda g: (g * factor,))
+
+
+def elu(x, alpha: float = 1.0) -> Tensor:
+    x = as_tensor(x)
+    negative = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out = np.where(x.data > 0, x.data, negative)
+    factor = np.where(x.data > 0, 1.0, negative + alpha)
+    return Tensor._from_op(out, (x,), lambda g: (g * factor,))
+
+
+def tanh(x) -> Tensor:
+    return ops.tanh(x)
+
+
+def sigmoid(x) -> Tensor:
+    return ops.sigmoid(x)
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "elu": elu,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+    "linear": lambda x: as_tensor(x),
+}
+
+
+def softmax(x, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = ops.exp(x - shift)
+    return exps / ops.sum(exps, axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    log_norm = ops.log(ops.sum(ops.exp(shifted), axis=axis, keepdims=True))
+    return shifted - log_norm
+
+
+def dropout(x, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = as_tensor(x)
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return Tensor._from_op(x.data * mask, (x,), lambda g: (g * mask,))
+
+
+def nll_loss(log_probs, targets, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood given log-probabilities (N, C)."""
+    log_probs = as_tensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    rows = np.arange(log_probs.shape[0])
+    picked = ops.getitem(log_probs, (rows, targets))
+    loss = -picked
+    return _reduce(loss, reduction)
+
+
+def cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy from raw logits (N, C) and int targets (N,)."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction)
+
+
+def binary_cross_entropy_with_logits(logits, targets, reduction: str = "mean") -> Tensor:
+    """Stable multi-label BCE: ``softplus(x) - x * y`` elementwise.
+
+    Used for the PPI-style inductive task where each node carries
+    multiple binary labels.
+    """
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    loss = ops.softplus(logits) - logits * targets
+    return _reduce(loss, reduction)
+
+
+def mse_loss(predictions, targets, reduction: str = "mean") -> Tensor:
+    predictions = as_tensor(predictions)
+    targets = as_tensor(targets)
+    diff = predictions - targets
+    return _reduce(diff * diff, reduction)
+
+
+def _reduce(loss: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return ops.mean(loss)
+    if reduction == "sum":
+        return ops.sum(loss)
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

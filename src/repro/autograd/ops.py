@@ -1,0 +1,294 @@
+"""Primitive differentiable operations.
+
+Every function takes and returns :class:`~repro.autograd.tensor.Tensor`
+objects (scalars and numpy arrays are coerced). Each op builds the
+result through :meth:`Tensor._from_op`, attaching a closure that maps
+the output gradient to per-parent gradients (the vector-Jacobian
+product). All ops are covered by finite-difference tests in
+``tests/autograd``.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "softplus",
+    "abs",
+    "maximum",
+    "clip",
+    "matmul",
+    "sum",
+    "mean",
+    "max",
+    "reshape",
+    "transpose",
+    "getitem",
+    "concatenate",
+    "stack",
+    "where",
+]
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return Tensor._from_op(a.data + b.data, (a, b), lambda g: (g, g))
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return Tensor._from_op(a.data - b.data, (a, b), lambda g: (g, -g))
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return Tensor._from_op(
+        a.data * b.data, (a, b), lambda g: (g * b.data, g * a.data)
+    )
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return Tensor._from_op(
+        a.data / b.data,
+        (a, b),
+        lambda g: (g / b.data, -g * a.data / (b.data * b.data)),
+    )
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+    return Tensor._from_op(-a.data, (a,), lambda g: (-g,))
+
+
+def pow(a, exponent: float) -> Tensor:
+    """Elementwise power with a constant (non-differentiated) exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out = a.data**exponent
+    return Tensor._from_op(
+        out, (a,), lambda g: (g * exponent * a.data ** (exponent - 1.0),)
+    )
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.exp(a.data)
+    return Tensor._from_op(out, (a,), lambda g: (g * out,))
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    return Tensor._from_op(np.log(a.data), (a,), lambda g: (g / a.data,))
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+    return Tensor._from_op(out, (a,), lambda g: (g * 0.5 / out,))
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+    return Tensor._from_op(out, (a,), lambda g: (g * (1.0 - out * out),))
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    # Numerically stable logistic via tanh.
+    out = 0.5 * (np.tanh(0.5 * a.data) + 1.0)
+    return Tensor._from_op(out, (a,), lambda g: (g * out * (1.0 - out),))
+
+
+def softplus(a) -> Tensor:
+    """``log(1 + exp(x))`` computed without overflow."""
+    a = as_tensor(a)
+    out = np.logaddexp(0.0, a.data)
+    grad_factor = 0.5 * (np.tanh(0.5 * a.data) + 1.0)
+    return Tensor._from_op(out, (a,), lambda g: (g * grad_factor,))
+
+
+def abs(a) -> Tensor:
+    a = as_tensor(a)
+    return Tensor._from_op(
+        np.abs(a.data), (a,), lambda g: (g * np.sign(a.data),)
+    )
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; gradient is split evenly on exact ties."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.maximum(a.data, b.data)
+
+    def backward(g):
+        a_wins = (a.data > b.data).astype(np.float64)
+        b_wins = (b.data > a.data).astype(np.float64)
+        tie = 1.0 - a_wins - b_wins
+        return g * (a_wins + 0.5 * tie), g * (b_wins + 0.5 * tie)
+
+    return Tensor._from_op(out, (a, b), backward)
+
+
+def clip(a, low: float | None = None, high: float | None = None) -> Tensor:
+    """Clamp values; gradient is zero outside the active range."""
+    a = as_tensor(a)
+    out = np.clip(a.data, low, high)
+    inside = np.ones_like(a.data)
+    if low is not None:
+        inside = inside * (a.data >= low)
+    if high is not None:
+        inside = inside * (a.data <= high)
+    return Tensor._from_op(out, (a,), lambda g: (g * inside,))
+
+
+def where(condition, a, b) -> Tensor:
+    """Select from ``a`` where ``condition`` holds, else from ``b``.
+
+    ``condition`` is treated as a constant (no gradient flows to it).
+    """
+    cond = np.asarray(
+        condition.data if isinstance(condition, Tensor) else condition
+    ).astype(bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.where(cond, a.data, b.data)
+    return Tensor._from_op(
+        out, (a, b), lambda g: (g * cond, g * (~cond))
+    )
+
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim < 2 or b.ndim < 2:
+        raise ValueError("matmul requires operands with ndim >= 2")
+    out = a.data @ b.data
+
+    def backward(g):
+        grad_a = g @ b.data.swapaxes(-1, -2)
+        grad_b = a.data.swapaxes(-1, -2) @ g
+        return grad_a, grad_b
+
+    return Tensor._from_op(out, (a, b), backward)
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.data.shape),)
+
+    return Tensor._from_op(out, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else a.data.shape[axis]
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.data.shape) / count,)
+
+    return Tensor._from_op(out, (a,), backward)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Reduction max; gradient is shared evenly among tied maxima."""
+    a = as_tensor(a)
+    out = a.data.max(axis=axis, keepdims=keepdims)
+    out_keep = a.data.max(axis=axis, keepdims=True)
+    mask = (a.data == out_keep).astype(np.float64)
+    mask = mask / mask.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, mask.shape) * mask,)
+
+    return Tensor._from_op(out, (a,), backward)
+
+
+def reshape(a, shape) -> Tensor:
+    a = as_tensor(a)
+    original = a.data.shape
+    return Tensor._from_op(
+        a.data.reshape(shape), (a,), lambda g: (g.reshape(original),)
+    )
+
+
+def transpose(a, axes=None) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.transpose(axes) if axes else a.data.T
+    if axes:
+        inverse = np.argsort(axes)
+        backward = lambda g: (g.transpose(inverse),)  # noqa: E731
+    else:
+        backward = lambda g: (g.T,)  # noqa: E731
+    return Tensor._from_op(out, (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    """Differentiable indexing (slices, integers, integer arrays).
+
+    The adjoint scatters the output gradient back with accumulation,
+    so repeated indices (fancy indexing) are handled correctly — this
+    is the primitive behind neighbor gathering in message passing.
+    """
+    a = as_tensor(a)
+    out = a.data[index]
+
+    def backward(g):
+        grad = np.zeros_like(a.data)
+        np.add.at(grad, index, g)
+        return (grad,)
+
+    return Tensor._from_op(out, (a,), backward)
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        grads = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            grads.append(g[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._from_op(out, tensors, backward)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._from_op(out, tensors, backward)

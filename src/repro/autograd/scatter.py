@@ -1,0 +1,114 @@
+"""Segment (scatter/gather) operations — the message-passing primitives.
+
+A GNN layer gathers the features of edge sources, transforms them, and
+scatters them back onto edge destinations. With ``gather`` and the
+``segment_*`` reductions below, every aggregator in the paper's search
+space (Table I / Table XI) composes out of differentiable pieces:
+
+``out[v] = reduce({message[e] : dst[e] == v})``
+
+``segment_ids`` plays the role of ``dst``. Segments may be empty (an
+isolated node); empty segments reduce to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = [
+    "gather",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "segment_count",
+]
+
+
+def gather(x, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]`` along axis 0 (differentiable).
+
+    Equivalent to fancy indexing; repeated indices accumulate gradient.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    return ops.getitem(as_tensor(x), index)
+
+
+def segment_count(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of elements per segment as a float array (constant)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    return np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+
+
+def segment_sum(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets.
+
+    ``out[s] = sum_{i : segment_ids[i] == s} x[i]``; the adjoint is a
+    gather, making this the cheapest scatter reduction.
+    """
+    x = as_tensor(x)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
+    np.add.at(out, segment_ids, x.data)
+    return Tensor._from_op(out, (x,), lambda g: (g[segment_ids],))
+
+
+def segment_mean(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean per segment; empty segments yield zero."""
+    counts = segment_count(segment_ids, num_segments)
+    counts = np.maximum(counts, 1.0)
+    total = segment_sum(x, segment_ids, num_segments)
+    denom = counts.reshape((num_segments,) + (1,) * (total.ndim - 1))
+    return total / denom
+
+
+def segment_max(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Max per segment; gradient splits evenly among tied maxima.
+
+    Empty segments yield zero (and receive no gradient).
+    """
+    x = as_tensor(x)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    feature_shape = x.data.shape[1:]
+    out = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out, segment_ids, x.data)
+    empty = ~np.isfinite(out)
+    out[empty] = 0.0
+
+    max_per_row = out[segment_ids]
+    winners = (x.data == max_per_row).astype(np.float64)
+    # Normalise ties: count winners per segment, divide each winner's share.
+    winner_counts = np.zeros_like(out)
+    np.add.at(winner_counts, segment_ids, winners)
+    winner_counts = np.maximum(winner_counts, 1.0)
+    share = winners / winner_counts[segment_ids]
+
+    def backward(g):
+        g = np.where(empty, 0.0, g)
+        return (g[segment_ids] * share,)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def segment_softmax(scores, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over each segment of a 1-D score vector.
+
+    This is the attention normalisation: for every destination node,
+    the scores of its incoming edges are normalised to sum to one.
+    Numerically stabilised by subtracting the per-segment max (which is
+    detached — the shift does not change the function value).
+    """
+    scores = as_tensor(scores)
+    if scores.ndim != 1:
+        raise ValueError(f"segment_softmax expects 1-D scores, got {scores.shape}")
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+
+    shift = segment_max(scores.detach(), segment_ids, num_segments)
+    shifted = scores - gather(shift, segment_ids)
+    exp_scores = ops.exp(shifted)
+    denom = segment_sum(exp_scores, segment_ids, num_segments)
+    denom = ops.clip(denom, low=1e-16)
+    return exp_scores / gather(denom, segment_ids)

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``            print the Table IV/V dataset statistics
+``search``           run SANE on one dataset, print the architecture
+``baseline``         train a named human baseline on one dataset
+``table``            regenerate a paper table (6/7/8/9/10)
+``figure``           regenerate a paper figure (2/3/4a/4b)
+
+All commands take ``--scale smoke|default|full`` (default: value of
+``REPRO_SCALE`` or ``default``) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments import (
+    SCALES,
+    run_figure2,
+    run_figure3,
+    run_figure4a,
+    run_figure4b,
+    run_human_baseline,
+    run_sane,
+    run_table4,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+    run_table10,
+)
+from repro.graph.datasets import ALL_DATASETS, load_dataset
+from repro.train.metrics import format_mean_std
+
+__all__ = ["build_parser", "main"]
+
+_TABLE_RUNNERS = {
+    "4": run_table4,
+    "6": run_table6,
+    "7": run_table7,
+    "8": run_table8,
+    "9": run_table9,
+    "10": run_table10,
+}
+_FIGURE_RUNNERS = {
+    "2": run_figure2,
+    "3": run_figure3,
+    "4a": run_figure4a,
+    "4b": run_figure4b,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SANE (ICDE 2021) reproduction command-line interface",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=os.environ.get("REPRO_SCALE", "default"),
+        help="compute budget preset",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("stats", help="dataset statistics (Tables IV/V)")
+
+    search = commands.add_parser("search", help="run SANE on one dataset")
+    search.add_argument("dataset", choices=ALL_DATASETS)
+    search.add_argument("--layers", type=int, default=3)
+    search.add_argument("--epsilon", type=float, default=0.0)
+
+    baseline = commands.add_parser("baseline", help="train a human baseline")
+    baseline.add_argument("name", help="e.g. gcn, gat-jk, lgcn")
+    baseline.add_argument("dataset", choices=ALL_DATASETS)
+
+    table = commands.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=sorted(_TABLE_RUNNERS))
+    table.add_argument(
+        "--datasets", nargs="*", default=None, help="restrict to these datasets"
+    )
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=sorted(_FIGURE_RUNNERS))
+    figure.add_argument("--datasets", nargs="*", default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+
+    if args.command == "stats":
+        print(run_table4(scale, seed=args.seed).render())
+        return 0
+
+    if args.command == "search":
+        data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
+        run = run_sane(
+            data, scale, seed=args.seed, num_layers=args.layers, epsilon=args.epsilon
+        )
+        print(f"architecture: {run.architecture}")
+        print(f"search time:  {run.search_time:.1f}s")
+        print(f"test score:   {format_mean_std(run.test_scores)}")
+        return 0
+
+    if args.command == "baseline":
+        data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
+        scores = run_human_baseline(args.name, data, scale, seed=args.seed)
+        print(f"{args.name} on {args.dataset}: {format_mean_std(scores)}")
+        return 0
+
+    if args.command == "table":
+        runner = _TABLE_RUNNERS[args.number]
+        kwargs = {"seed": args.seed}
+        if args.datasets and args.number in ("6", "7", "9", "10"):
+            kwargs["datasets"] = tuple(args.datasets)
+        print(runner(scale, **kwargs).render())
+        return 0
+
+    if args.command == "figure":
+        runner = _FIGURE_RUNNERS[args.number]
+        kwargs = {"seed": args.seed}
+        if args.datasets:
+            kwargs["datasets"] = tuple(args.datasets)
+        print(runner(scale, **kwargs).render())
+        return 0
+
+    return 1  # unreachable: argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

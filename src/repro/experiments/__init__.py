@@ -1,0 +1,70 @@
+"""Experiment harness: one runner per paper table/figure.
+
+=========  ==============================================
+paper       runner
+=========  ==============================================
+Table IV    :func:`repro.experiments.table4.run_table4`
+Table VI    :func:`repro.experiments.table6.run_table6`
+Table VII   :func:`repro.experiments.table7.run_table7`
+Table VIII  :func:`repro.experiments.table8.run_table8`
+Table IX    :func:`repro.experiments.table9.run_table9`
+Table X     :func:`repro.experiments.table10.run_table10`
+Figure 2    :func:`repro.experiments.figure2.run_figure2`
+Figure 3    :func:`repro.experiments.figure3.run_figure3`
+Figure 4    :func:`repro.experiments.figure4.run_figure4a` / ``run_figure4b``
+=========  ==============================================
+"""
+
+from repro.experiments.config import SCALES, Scale
+from repro.experiments.persistence import (
+    load_records,
+    load_table,
+    save_record,
+    save_table,
+)
+from repro.experiments.results import ExperimentTable, format_scores, render_table
+from repro.experiments.runners import (
+    NAS_METHODS,
+    run_human_baseline,
+    run_nas_method,
+    run_sane,
+    task_settings,
+)
+from repro.experiments.table4 import run_table4
+from repro.experiments.table6 import HUMAN_BASELINES, run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+from repro.experiments.table9 import run_table9
+from repro.experiments.table10 import run_table10
+from repro.experiments.figure2 import render_architecture, run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4a, run_figure4b
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "ExperimentTable",
+    "format_scores",
+    "render_table",
+    "save_table",
+    "load_table",
+    "save_record",
+    "load_records",
+    "NAS_METHODS",
+    "HUMAN_BASELINES",
+    "run_human_baseline",
+    "run_nas_method",
+    "run_sane",
+    "task_settings",
+    "run_table4",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_table9",
+    "run_table10",
+    "render_architecture",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4a",
+    "run_figure4b",
+]

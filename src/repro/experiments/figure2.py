@@ -1,0 +1,71 @@
+"""Figure 2: the searched architectures, rendered as ASCII diagrams.
+
+The paper visualises the top-1 architecture per dataset; here we run
+the SANE pipeline per dataset and draw the derived DAG, marking ZERO
+skip connections in the same way the paper greys them out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.search_space import Architecture
+from repro.experiments.config import Scale
+from repro.experiments.runners import run_sane
+from repro.graph.datasets import load_dataset
+
+__all__ = ["Figure2Result", "render_architecture", "run_figure2"]
+
+
+def render_architecture(arch: Architecture, name: str = "") -> str:
+    """ASCII rendering of one searched architecture (Figure 2 style).
+
+    Example::
+
+        cora:  h0 -[gat]-> h1 -[gcn]-> h2 -[gin]-> h3
+               skips to JK: h1 (identity), h2 (ZERO, dropped), h3 (identity)
+               layer aggregator: concat
+    """
+    chain = "h0"
+    for i, op in enumerate(arch.node_aggregators):
+        chain += f" -[{op}]-> h{i + 1}"
+    skips = []
+    for i, skip in enumerate(arch.skip_connections):
+        marker = "identity" if skip == "identity" else "ZERO, dropped"
+        skips.append(f"h{i + 1} ({marker})")
+    prefix = f"{name}:  " if name else ""
+    pad = " " * len(prefix)
+    return (
+        f"{prefix}{chain}\n"
+        f"{pad}skips to JK: {', '.join(skips)}\n"
+        f"{pad}layer aggregator: {arch.layer_aggregator}"
+    )
+
+
+@dataclasses.dataclass
+class Figure2Result:
+    architectures: dict[str, Architecture]
+    test_scores: dict[str, list[float]]
+
+    def render(self) -> str:
+        parts = ["Figure 2 — searched architectures (top-1 per dataset)", ""]
+        for name, arch in self.architectures.items():
+            parts.append(render_architecture(arch, name))
+            parts.append("")
+        return "\n".join(parts)
+
+
+def run_figure2(
+    scale: Scale,
+    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
+    seed: int = 0,
+) -> Figure2Result:
+    """Search each dataset and collect the derived architectures."""
+    architectures: dict[str, Architecture] = {}
+    scores: dict[str, list[float]] = {}
+    for dataset_name in datasets:
+        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
+        run = run_sane(data, scale, seed=seed)
+        architectures[dataset_name] = run.architecture
+        scores[dataset_name] = run.test_scores
+    return Figure2Result(architectures=architectures, test_scores=scores)

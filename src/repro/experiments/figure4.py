@@ -1,0 +1,88 @@
+"""Figure 4: ablations — random-explore ε (a) and backbone depth K (b).
+
+(a) ``ε ∈ {0, 0.2, 0.5, 0.9, 1.0}``: with probability ε each supernet
+edge uses a uniformly sampled single op instead of the softmax
+mixture; ε=1 degenerates to random search with weight sharing.
+Expected: test score decreases as ε grows (Section IV-E1).
+
+(b) ``K ∈ {1..6}``: search at each depth. Expected: score rises then
+falls (over-smoothing), peaking at small-to-moderate K
+(Section IV-E2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.config import Scale
+from repro.experiments.results import render_table
+from repro.experiments.runners import run_sane
+from repro.graph.datasets import load_dataset
+
+__all__ = ["Figure4Result", "run_figure4a", "run_figure4b"]
+
+EPSILONS = (0.0, 0.2, 0.5, 0.9, 1.0)
+DEPTHS = (1, 2, 3, 4, 5, 6)
+
+
+@dataclasses.dataclass
+class Figure4Result:
+    # dataset -> {parameter value: [test scores]}
+    curves: dict[str, dict[float, list[float]]]
+    parameter: str  # "epsilon" or "K"
+
+    def means(self, dataset: str) -> dict[float, float]:
+        return {
+            value: sum(scores) / len(scores)
+            for value, scores in self.curves[dataset].items()
+        }
+
+    def render(self) -> str:
+        datasets = list(self.curves)
+        values = list(next(iter(self.curves.values())))
+        rows = []
+        for value in values:
+            row = [f"{self.parameter}={value}"]
+            for dataset in datasets:
+                scores = self.curves[dataset][value]
+                row.append(f"{sum(scores) / len(scores):.4f}")
+            rows.append(row)
+        return render_table(
+            [self.parameter] + datasets,
+            rows,
+            title=f"Figure 4 — test score vs. {self.parameter}",
+        )
+
+
+def run_figure4a(
+    scale: Scale,
+    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
+    epsilons: tuple[float, ...] = EPSILONS,
+    seed: int = 0,
+) -> Figure4Result:
+    """ε-ablation of the differentiable search."""
+    curves: dict[str, dict[float, list[float]]] = {}
+    for dataset_name in datasets:
+        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
+        curves[dataset_name] = {}
+        for epsilon in epsilons:
+            run = run_sane(data, scale, seed=seed, epsilon=epsilon)
+            curves[dataset_name][epsilon] = run.test_scores
+    return Figure4Result(curves=curves, parameter="epsilon")
+
+
+def run_figure4b(
+    scale: Scale,
+    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
+    depths: tuple[int, ...] = DEPTHS,
+    seed: int = 0,
+) -> Figure4Result:
+    """Backbone-depth ablation (K layers)."""
+    curves: dict[str, dict[float, list[float]]] = {}
+    for dataset_name in datasets:
+        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
+        curves[dataset_name] = {}
+        for depth in depths:
+            run = run_sane(data, scale, seed=seed, num_layers=depth)
+            curves[dataset_name][depth] = run.test_scores
+    return Figure4Result(curves=curves, parameter="K")

@@ -1,0 +1,64 @@
+"""Persisting experiment results to JSON.
+
+Benchmarks print their tables, but a reproduction is more auditable
+when raw score lists survive the run. :func:`save_table` /
+:func:`load_table` round-trip :class:`ExperimentTable` objects, and
+:func:`save_record` appends arbitrary tagged result dicts to a JSON
+lines file (one experiment per line, with the scale preset and seed
+recorded alongside).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.results import ExperimentTable
+
+__all__ = ["save_table", "load_table", "save_record", "load_records"]
+
+
+def save_table(table: ExperimentTable, path: str | os.PathLike) -> None:
+    """Write an :class:`ExperimentTable` (with raw scores) to JSON."""
+    payload = {
+        "title": table.title,
+        "headers": table.headers,
+        "cells": table.cells,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_table(path: str | os.PathLike) -> ExperimentTable:
+    """Read a table written by :func:`save_table`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return ExperimentTable(
+        title=payload["title"],
+        headers=list(payload["headers"]),
+        cells={
+            row: {column: list(scores) for column, scores in columns.items()}
+            for row, columns in payload["cells"].items()
+        },
+    )
+
+
+def save_record(record: dict, path: str | os.PathLike) -> None:
+    """Append one experiment record to a JSON-lines log."""
+    if not isinstance(record, dict):
+        raise TypeError("record must be a dict")
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_records(path: str | os.PathLike) -> list[dict]:
+    """Read every record from a JSON-lines log (empty if absent)."""
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,58 @@
+"""Tables IV & V: dataset statistics of the synthetic benchmarks.
+
+Prints the N/E/F/C rows for the four node-classification datasets and
+the entity/relation/triple counts of the bilingual KG pair, making the
+scale substitution (Section 2 of DESIGN.md) explicit and auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.config import Scale
+from repro.experiments.results import render_table
+from repro.graph.datasets import dataset_statistics
+from repro.kg.data import generate_alignment_dataset
+
+__all__ = ["Table4Result", "run_table4"]
+
+
+@dataclasses.dataclass
+class Table4Result:
+    node_rows: list[dict]
+    kg_stats: dict
+
+    def render(self) -> str:
+        rows = [
+            [r["task"], r["dataset"], str(r["N"]), str(r["E"]), str(r["F"]), str(r["C"])]
+            for r in self.node_rows
+        ]
+        table4 = render_table(
+            ["task", "dataset", "N", "E", "F", "C"],
+            rows,
+            title="Table IV — dataset statistics (synthetic analogues)",
+        )
+        kg_rows = []
+        for view in ("kg1", "kg2"):
+            stats = self.kg_stats[view]
+            kg_rows.append(
+                [view, str(stats["entities"]), str(stats["relations"]), str(stats["triples"])]
+            )
+        links = self.kg_stats["links"]
+        table5 = render_table(
+            ["view", "entities", "relations", "triples"],
+            kg_rows,
+            title=(
+                "Table V — bilingual KG statistics "
+                f"(links: {links['train']}/{links['val']}/{links['test']} train/val/test)"
+            ),
+        )
+        return table4 + "\n\n" + table5
+
+
+def run_table4(scale: Scale, seed: int = 0) -> Table4Result:
+    node_rows = dataset_statistics(seed=seed, scale=scale.dataset_scale)
+    kg = generate_alignment_dataset(
+        seed=seed, num_core=max(60, int(240 * scale.dataset_scale))
+    )
+    return Table4Result(node_rows=node_rows, kg_stats=kg.statistics())

@@ -1,0 +1,85 @@
+"""Table VI: performance on transductive and inductive tasks.
+
+Reproduces the paper's headline comparison: 11 human-designed
+architectures (GCN/SAGE/GAT/GIN/GeniePath, each with and without
+JK-Network, plus LGCN), 4 trial-and-error NAS baselines (Random,
+Bayesian, GraphNAS, GraphNAS-WS) and SANE, on the three citation
+analogues (accuracy) and the PPI analogue (micro-F1).
+
+Expected shape (paper Section IV-B): SANE best on every dataset; JK
+variants improve their bases; no single human-designed winner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.config import Scale
+from repro.experiments.results import ExperimentTable
+from repro.experiments.runners import (
+    NAS_METHODS,
+    run_human_baseline,
+    run_nas_method,
+    run_sane,
+)
+from repro.graph.datasets import load_dataset
+
+__all__ = ["HUMAN_BASELINES", "Table6Result", "run_table6"]
+
+HUMAN_BASELINES = (
+    "gcn",
+    "gcn-jk",
+    "sage",
+    "sage-jk",
+    "gat",
+    "gat-jk",
+    "gin",
+    "gin-jk",
+    "geniepath",
+    "geniepath-jk",
+    "lgcn",
+)
+
+
+@dataclasses.dataclass
+class Table6Result:
+    table: ExperimentTable
+    sane_architectures: dict[str, str]  # dataset -> derived architecture
+
+    def render(self) -> str:
+        lines = [self.table.render(), "", "Searched architectures (Figure 2 input):"]
+        for dataset, arch in self.sane_architectures.items():
+            lines.append(f"  {dataset}: {arch}")
+        return "\n".join(lines)
+
+
+def run_table6(
+    scale: Scale,
+    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
+    methods: tuple[str, ...] = HUMAN_BASELINES + NAS_METHODS + ("sane",),
+    seed: int = 0,
+) -> Table6Result:
+    """Regenerate Table VI at the given scale."""
+    cells: dict[str, dict[str, list[float]]] = {m: {} for m in methods}
+    architectures: dict[str, str] = {}
+    for dataset_name in datasets:
+        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
+        for method in methods:
+            if method in HUMAN_BASELINES:
+                scores = run_human_baseline(method, data, scale, seed=seed)
+            elif method in NAS_METHODS:
+                scores = run_nas_method(method, data, scale, seed=seed).test_scores
+            elif method == "sane":
+                run = run_sane(data, scale, seed=seed)
+                scores = run.test_scores
+                architectures[dataset_name] = run.architecture.describe()
+            else:
+                raise ValueError(f"unknown method {method!r}")
+            cells[method][dataset_name] = scores
+
+    table = ExperimentTable(
+        title="Table VI — transductive (accuracy) and inductive (micro-F1)",
+        headers=["method"] + list(datasets),
+        cells=cells,
+    )
+    return Table6Result(table=table, sane_architectures=architectures)

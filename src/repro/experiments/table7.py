@@ -1,0 +1,105 @@
+"""Table VII: search wall-clock time of each NAS method.
+
+The paper measures the clock time to run each search once with a
+fixed exploration budget (200 supernet epochs for SANE, 200 candidate
+evaluations for Random/Bayesian/GraphNAS) and reports SANE two orders
+of magnitude faster. We use ``scale.nas_candidates`` /
+``scale.search_epochs`` as the budgets; the expected *shape* is the
+large multiplicative gap, not the absolute seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.search import SaneSearcher, SearchConfig
+from repro.core.search_space import SearchSpace
+from repro.experiments.config import Scale
+from repro.experiments.results import render_table
+from repro.experiments.runners import task_settings
+from repro.graph.datasets import load_dataset
+from repro.nas.encoding import sane_decision_space
+from repro.nas.evaluation import ArchitectureEvaluator
+from repro.nas.graphnas import graphnas_search
+from repro.nas.random_search import random_search
+from repro.nas.tpe import tpe_search
+
+__all__ = ["Table7Result", "run_table7"]
+
+
+@dataclasses.dataclass
+class Table7Result:
+    # method -> dataset -> seconds
+    times: dict[str, dict[str, float]]
+
+    def speedup(self, dataset: str) -> float:
+        """Slowest trial-and-error method over SANE, per dataset."""
+        others = [
+            seconds
+            for method, by_dataset in self.times.items()
+            if method != "sane"
+            for ds, seconds in by_dataset.items()
+            if ds == dataset
+        ]
+        return max(others) / self.times["sane"][dataset]
+
+    def render(self) -> str:
+        datasets = list(next(iter(self.times.values())))
+        rows = [
+            [method] + [f"{by_ds[ds]:.1f}" for ds in datasets]
+            for method, by_ds in self.times.items()
+        ]
+        return render_table(
+            ["method"] + datasets,
+            rows,
+            title="Table VII — search time (seconds) per method",
+        )
+
+
+def run_table7(
+    scale: Scale,
+    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
+    seed: int = 0,
+) -> Table7Result:
+    """Time one search run of every method on every dataset."""
+    times: dict[str, dict[str, float]] = {
+        m: {} for m in ("random", "bayesian", "graphnas", "sane")
+    }
+    space = SearchSpace(num_layers=3)
+    for dataset_name in datasets:
+        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
+        settings = task_settings(data, scale)
+        dspace = sane_decision_space(space)
+
+        def evaluator(method_seed: int) -> ArchitectureEvaluator:
+            return ArchitectureEvaluator(
+                dspace,
+                data,
+                train_config=settings.train_config,
+                hidden_dim=scale.hidden_dim,
+                dropout=settings.dropout,
+                seed=method_seed,
+            )
+
+        outcome = random_search(evaluator(seed), scale.nas_candidates, seed=seed)
+        times["random"][dataset_name] = outcome.search_time
+        outcome = tpe_search(evaluator(seed + 1), scale.nas_candidates, seed=seed)
+        times["bayesian"][dataset_name] = outcome.search_time
+        outcome = graphnas_search(
+            evaluator(seed + 2),
+            scale.nas_candidates,
+            seed=seed,
+            num_final_samples=1,
+        )
+        times["graphnas"][dataset_name] = outcome.search_time
+
+        searcher = SaneSearcher(
+            space,
+            data,
+            SearchConfig(
+                epochs=scale.search_epochs, hidden_dim=scale.search_hidden_dim
+            ),
+            seed=seed,
+        )
+        times["sane"][dataset_name] = searcher.search().search_time
+    return Table7Result(times=times)

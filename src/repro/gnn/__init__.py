@@ -1,0 +1,31 @@
+"""GNN layer library: node/layer aggregators, models, baselines."""
+
+from repro.gnn.common import GraphCache
+from repro.gnn.aggregators import (
+    NODE_AGGREGATORS,
+    NodeAggregator,
+    create_node_aggregator,
+)
+from repro.gnn.layer_aggregators import (
+    LAYER_AGGREGATORS,
+    LayerAggregator,
+    create_layer_aggregator,
+)
+from repro.gnn.models import BASELINE_NAMES, GNNModel, build_baseline
+from repro.gnn.lgcn import LGCNModel
+from repro.gnn.mlp_aggregator import MLPAggregator
+
+__all__ = [
+    "GraphCache",
+    "NODE_AGGREGATORS",
+    "NodeAggregator",
+    "create_node_aggregator",
+    "LAYER_AGGREGATORS",
+    "LayerAggregator",
+    "create_layer_aggregator",
+    "BASELINE_NAMES",
+    "GNNModel",
+    "build_baseline",
+    "LGCNModel",
+    "MLPAggregator",
+]

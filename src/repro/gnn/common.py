@@ -1,0 +1,63 @@
+"""Shared machinery for GNN layers: per-graph precomputation.
+
+Every aggregator needs the same handful of edge arrays (with/without
+self-loops, GCN normalisation coefficients, …). :class:`GraphCache`
+computes them once per graph so a search that evaluates thousands of
+candidate layers never re-derives them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.data import Graph
+from repro.graph.utils import (
+    add_self_loops,
+    gcn_edge_weights,
+    padded_neighbor_index,
+    remove_self_loops,
+)
+
+__all__ = ["GraphCache"]
+
+
+class GraphCache:
+    """Immutable preprocessed view of one graph.
+
+    Attributes
+    ----------
+    num_nodes:
+        Node count ``N``.
+    src, dst:
+        Endpoints of ``G~`` (self-loops included) — used by GCN, the
+        GAT family, GeniePath, i.e. aggregators over ``N~(v)``.
+    nbr_src, nbr_dst:
+        Endpoints without self-loops — used by SAGE (which treats the
+        root separately) and GIN (which sums strict neighbors).
+    gcn_weights:
+        Symmetric-normalisation coefficient per ``G~`` edge.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.num_nodes = graph.num_nodes
+
+        loops = add_self_loops(graph.edge_index, graph.num_nodes)
+        self.src = loops[0]
+        self.dst = loops[1]
+        self.gcn_weights = gcn_edge_weights(loops, graph.num_nodes)
+
+        plain = remove_self_loops(graph.edge_index)
+        self.nbr_src = plain[0]
+        self.nbr_dst = plain[1]
+
+        self._padded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def padded_neighbors(self, k: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-size neighbor table (used by the LGCN baseline)."""
+        if k not in self._padded:
+            rng = np.random.default_rng(seed)
+            self._padded[k] = padded_neighbor_index(
+                np.stack([self.nbr_src, self.nbr_dst]), self.num_nodes, k, rng
+            )
+        return self._padded[k]

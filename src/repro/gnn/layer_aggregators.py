@@ -1,0 +1,107 @@
+"""The 3 layer aggregators of the SANE search space (Table I, ``O_l``).
+
+A layer aggregator combines the K per-layer node embeddings
+``h_v^1 … h_v^K`` into the final representation ``z_v`` (the paper's
+Eq. 5, inherited from JK-Network). All layers must share the hidden
+dimension ``d``; CONCAT outputs ``K * d`` while MAX and LSTM keep ``d``
+(:attr:`LayerAggregator.output_dim` reports which).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.lstm import BiLSTMAttention
+from repro.nn.module import Module
+
+__all__ = [
+    "LayerAggregator",
+    "ConcatLayerAggregator",
+    "MaxLayerAggregator",
+    "LSTMLayerAggregator",
+    "LAYER_AGGREGATORS",
+    "create_layer_aggregator",
+]
+
+
+class LayerAggregator(Module):
+    """Base class: combine K tensors of shape ``(N, d)`` into one."""
+
+    def __init__(self, num_layers: int, hidden_dim: int):
+        super().__init__()
+        self.num_layers = num_layers
+        self.hidden_dim = hidden_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self.hidden_dim
+
+    def forward(self, layer_outputs: list[Tensor]) -> Tensor:
+        raise NotImplementedError
+
+    def _check(self, layer_outputs: list[Tensor]) -> None:
+        if len(layer_outputs) != self.num_layers:
+            raise ValueError(
+                f"expected {self.num_layers} layer outputs, got {len(layer_outputs)}"
+            )
+
+
+class ConcatLayerAggregator(LayerAggregator):
+    """``z_v = [h_v^1 || … || h_v^K]`` — the JK-Net default."""
+
+    @property
+    def output_dim(self) -> int:
+        return self.num_layers * self.hidden_dim
+
+    def forward(self, layer_outputs: list[Tensor]) -> Tensor:
+        self._check(layer_outputs)
+        return ops.concatenate(layer_outputs, axis=1)
+
+
+class MaxLayerAggregator(LayerAggregator):
+    """Elementwise max over layers: adaptive receptive-field selection."""
+
+    def forward(self, layer_outputs: list[Tensor]) -> Tensor:
+        self._check(layer_outputs)
+        stacked = ops.stack(layer_outputs, axis=1)  # (N, K, d)
+        return ops.max(stacked, axis=1)
+
+
+class LSTMLayerAggregator(LayerAggregator):
+    """Bi-directional LSTM + attention over the layer sequence."""
+
+    def __init__(self, num_layers: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__(num_layers, hidden_dim)
+        lstm_hidden = max(8, hidden_dim // 2)
+        self.encoder = BiLSTMAttention(hidden_dim, lstm_hidden, rng)
+
+    def forward(self, layer_outputs: list[Tensor]) -> Tensor:
+        self._check(layer_outputs)
+        stacked = ops.stack(layer_outputs, axis=1)  # (N, K, d)
+        return self.encoder(stacked)
+
+
+LAYER_AGGREGATORS = {
+    "concat": lambda num_layers, hidden_dim, rng: ConcatLayerAggregator(
+        num_layers, hidden_dim
+    ),
+    "max": lambda num_layers, hidden_dim, rng: MaxLayerAggregator(
+        num_layers, hidden_dim
+    ),
+    "lstm": LSTMLayerAggregator,
+}
+
+
+def create_layer_aggregator(
+    name: str, num_layers: int, hidden_dim: int, rng: np.random.Generator
+) -> LayerAggregator:
+    """Instantiate a layer aggregator from the Table I registry."""
+    try:
+        factory = LAYER_AGGREGATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown layer aggregator {name!r}; available: {sorted(LAYER_AGGREGATORS)}"
+        ) from None
+    return factory(num_layers, hidden_dim, rng)

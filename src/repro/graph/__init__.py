@@ -1,0 +1,21 @@
+"""Graph substrate: containers, preprocessing, synthetic benchmarks."""
+
+from repro.graph.data import Graph, MultiGraphDataset
+from repro.graph import utils, generators, datasets, io
+from repro.graph.datasets import load_dataset, dataset_statistics
+from repro.graph.io import load_graph, load_multigraph, save_graph, save_multigraph
+
+__all__ = [
+    "Graph",
+    "MultiGraphDataset",
+    "utils",
+    "generators",
+    "datasets",
+    "io",
+    "load_dataset",
+    "dataset_statistics",
+    "save_graph",
+    "load_graph",
+    "save_multigraph",
+    "load_multigraph",
+]

@@ -1,0 +1,162 @@
+"""Graph containers used throughout the reproduction.
+
+:class:`Graph` is the single-graph container for transductive node
+classification (Cora/CiteSeer/PubMed analogues) and
+:class:`MultiGraphDataset` is the inductive container (PPI analogue,
+where training/validation/test use disjoint graphs).
+
+Edges are stored as a ``(2, E)`` integer ``edge_index`` in COO layout
+— row 0 holds source nodes, row 1 destinations — matching the PyG
+convention the paper's code uses. Undirected graphs store both
+directions explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Graph", "MultiGraphDataset"]
+
+
+@dataclasses.dataclass
+class Graph:
+    """A featured, optionally labelled graph.
+
+    Attributes
+    ----------
+    edge_index:
+        ``(2, E)`` int64 array; both directions present for undirected
+        graphs. May include self-loops (see
+        :func:`repro.graph.utils.add_self_loops`).
+    features:
+        ``(N, F)`` float node-feature matrix.
+    labels:
+        ``(N,)`` int class labels for single-label tasks, or ``(N, C)``
+        binary indicator matrix for multi-label tasks, or ``None``.
+    train_mask / val_mask / test_mask:
+        Boolean ``(N,)`` masks for transductive splits (``None`` for
+        graphs used in inductive datasets, where the whole graph
+        belongs to one split).
+    name:
+        Human-readable identifier used in experiment reports.
+    """
+
+    edge_index: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray | None = None
+    train_mask: np.ndarray | None = None
+    val_mask: np.ndarray | None = None
+    test_mask: np.ndarray | None = None
+    name: str = "graph"
+
+    def __post_init__(self):
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError(
+                f"edge_index must be (2, E), got {self.edge_index.shape}"
+            )
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be (N, F), got {self.features.shape}")
+        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+            raise ValueError("edge_index references a node beyond num_nodes")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels is None:
+            raise ValueError(f"graph {self.name!r} has no labels")
+        if self.labels.ndim == 2:
+            return self.labels.shape[1]
+        return int(self.labels.max()) + 1
+
+    @property
+    def is_multilabel(self) -> bool:
+        return self.labels is not None and self.labels.ndim == 2
+
+    @property
+    def src(self) -> np.ndarray:
+        return self.edge_index[0]
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self.edge_index[1]
+
+    def mask(self, split: str) -> np.ndarray:
+        """Return the boolean mask for ``'train' | 'val' | 'test'``."""
+        value = getattr(self, f"{split}_mask", None)
+        if value is None:
+            raise ValueError(f"graph {self.name!r} has no {split} mask")
+        return value
+
+    def replace(self, **updates) -> "Graph":
+        """Functional update returning a new Graph."""
+        return dataclasses.replace(self, **updates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, N={self.num_nodes}, "
+            f"E={self.num_edges}, F={self.num_features})"
+        )
+
+
+@dataclasses.dataclass
+class MultiGraphDataset:
+    """Inductive dataset: disjoint graph lists per split (PPI-style)."""
+
+    train_graphs: list[Graph]
+    val_graphs: list[Graph]
+    test_graphs: list[Graph]
+    name: str = "multigraph"
+
+    def __post_init__(self):
+        if not self.train_graphs:
+            raise ValueError("inductive dataset needs at least one training graph")
+        feature_dims = {
+            g.num_features
+            for g in self.train_graphs + self.val_graphs + self.test_graphs
+        }
+        if len(feature_dims) != 1:
+            raise ValueError(f"inconsistent feature dims across graphs: {feature_dims}")
+
+    @property
+    def num_features(self) -> int:
+        return self.train_graphs[0].num_features
+
+    @property
+    def num_classes(self) -> int:
+        return self.train_graphs[0].num_classes
+
+    @property
+    def all_graphs(self) -> list[Graph]:
+        return self.train_graphs + self.val_graphs + self.test_graphs
+
+    def totals(self) -> tuple[int, int]:
+        """(total nodes, total edges) across every split."""
+        nodes = sum(g.num_nodes for g in self.all_graphs)
+        edges = sum(g.num_edges for g in self.all_graphs)
+        return nodes, edges
+
+    def __repr__(self) -> str:
+        nodes, edges = self.totals()
+        return (
+            f"MultiGraphDataset(name={self.name!r}, graphs="
+            f"{len(self.train_graphs)}/{len(self.val_graphs)}/{len(self.test_graphs)}, "
+            f"N={nodes}, E={edges})"
+        )

@@ -1,0 +1,163 @@
+"""Synthetic graph-classification benchmark (future-work extension).
+
+The paper's conclusion names whole-graph classification — where
+"different graph pooling methods can be searched" — as the follow-up
+direction for SANE. This module provides the data substrate: a seeded
+generator of small graphs whose *class is a structural property*, so a
+model must aggregate topology (not just read node features) to
+classify:
+
+==========  ======================================================
+class        recipe
+==========  ======================================================
+``ring``     one long cycle plus chords
+``star``     few high-degree hubs with leaf fans
+``blocks``   two dense communities with a thin bridge
+``random``   Erdős–Rényi at matched density
+==========  ======================================================
+
+Node features are degree/clustering summaries plus Gaussian noise —
+informative about local structure, deliberately not linearly separable
+by class at the node level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.data import Graph
+from repro.graph.utils import to_undirected
+
+__all__ = ["GraphClassificationDataset", "generate_graph_dataset", "GRAPH_CLASSES"]
+
+GRAPH_CLASSES = ("ring", "star", "blocks", "random")
+
+
+@dataclasses.dataclass
+class GraphClassificationDataset:
+    """Lists of (graph, label) pairs per split."""
+
+    train: list[tuple[Graph, int]]
+    val: list[tuple[Graph, int]]
+    test: list[tuple[Graph, int]]
+    num_classes: int
+    name: str = "graphclf"
+
+    def __post_init__(self):
+        if not self.train:
+            raise ValueError("graph classification needs training graphs")
+
+    @property
+    def num_features(self) -> int:
+        return self.train[0][0].num_features
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphClassificationDataset(name={self.name!r}, "
+            f"graphs={len(self.train)}/{len(self.val)}/{len(self.test)}, "
+            f"C={self.num_classes})"
+        )
+
+
+def _make_topology(label: str, num_nodes: int, rng: np.random.Generator) -> nx.Graph:
+    if label == "ring":
+        graph = nx.cycle_graph(num_nodes)
+        for __ in range(max(1, num_nodes // 8)):
+            u, v = rng.integers(0, num_nodes, size=2)
+            if u != v:
+                graph.add_edge(int(u), int(v))
+        return graph
+    if label == "star":
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        hubs = rng.choice(num_nodes, size=max(2, num_nodes // 10), replace=False)
+        for node in range(num_nodes):
+            hub = int(rng.choice(hubs))
+            if node != hub:
+                graph.add_edge(node, hub)
+        return graph
+    if label == "blocks":
+        half = num_nodes // 2
+        sizes = [half, num_nodes - half]
+        probs = [[0.35, 0.02], [0.02, 0.35]]
+        return nx.stochastic_block_model(sizes, probs, seed=int(rng.integers(2**31)))
+    if label == "random":
+        p = 2.2 / max(1, num_nodes - 1)
+        return nx.fast_gnp_random_graph(num_nodes, p, seed=int(rng.integers(2**31)))
+    raise ValueError(f"unknown graph class {label!r}")
+
+
+def _structural_features(
+    graph: nx.Graph, num_features: int, rng: np.random.Generator, noise: float
+) -> np.ndarray:
+    """Per-node structural summaries padded with noise channels."""
+    num_nodes = graph.number_of_nodes()
+    degrees = np.array([d for __, d in sorted(graph.degree())], dtype=np.float64)
+    clustering = np.array(
+        [nx.clustering(graph, n) for n in sorted(graph.nodes)], dtype=np.float64
+    )
+    base = np.stack(
+        [
+            degrees / max(1.0, degrees.max()),
+            clustering,
+            np.ones(num_nodes),
+        ],
+        axis=1,
+    )
+    features = np.zeros((num_nodes, num_features), dtype=np.float64)
+    features[:, : base.shape[1]] = base
+    features += noise * rng.normal(size=features.shape)
+    return features
+
+
+def generate_graph_dataset(
+    seed: int = 0,
+    graphs_per_class: int = 12,
+    num_nodes: int = 24,
+    num_features: int = 8,
+    feature_noise: float = 0.3,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+) -> GraphClassificationDataset:
+    """Build the four-class structural benchmark (stratified splits)."""
+    rng = np.random.default_rng(seed)
+    samples: list[tuple[Graph, int]] = []
+    for class_index, label in enumerate(GRAPH_CLASSES):
+        for i in range(graphs_per_class):
+            size = num_nodes + int(rng.integers(-4, 5))
+            topology = _make_topology(label, size, rng)
+            edges = np.array(list(topology.edges), dtype=np.int64)
+            if len(edges) == 0:
+                edges = np.array([[0, 1]], dtype=np.int64)
+            edge_index = to_undirected(edges.T, size)
+            features = _structural_features(topology, num_features, rng, feature_noise)
+            samples.append(
+                (
+                    Graph(
+                        edge_index=edge_index,
+                        features=features,
+                        name=f"{label}-{i}",
+                    ),
+                    class_index,
+                )
+            )
+
+    # Stratified split: slice within each class, then shuffle the pools.
+    train, val, test = [], [], []
+    for class_index in range(len(GRAPH_CLASSES)):
+        members = [s for s in samples if s[1] == class_index]
+        members = [members[i] for i in rng.permutation(len(members))]
+        n_train = max(1, int(round(train_fraction * len(members))))
+        n_val = max(1, int(round(val_fraction * len(members))))
+        train.extend(members[:n_train])
+        val.extend(members[n_train : n_train + n_val])
+        test.extend(members[n_train + n_val :])
+    return GraphClassificationDataset(
+        train=[train[i] for i in rng.permutation(len(train))],
+        val=val,
+        test=test,
+        num_classes=len(GRAPH_CLASSES),
+    )

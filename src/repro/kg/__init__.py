@@ -1,0 +1,37 @@
+"""DB task substrate: cross-lingual entity alignment (Section IV-D)."""
+
+from repro.kg.data import AlignmentDataset, KnowledgeGraph, generate_alignment_dataset
+from repro.kg.align import (
+    AlignConfig,
+    AlignResult,
+    EmbeddingAligner,
+    GNNAligner,
+    margin_ranking_loss,
+    train_aligner,
+)
+from repro.kg.metrics import evaluate_alignment, hits_at_k, pairwise_l1
+from repro.kg.search import (
+    AlignSearchConfig,
+    AlignSearchResult,
+    AlignSupernet,
+    search_alignment,
+)
+
+__all__ = [
+    "AlignmentDataset",
+    "KnowledgeGraph",
+    "generate_alignment_dataset",
+    "AlignConfig",
+    "AlignResult",
+    "EmbeddingAligner",
+    "GNNAligner",
+    "margin_ranking_loss",
+    "train_aligner",
+    "evaluate_alignment",
+    "hits_at_k",
+    "pairwise_l1",
+    "AlignSearchConfig",
+    "AlignSearchResult",
+    "AlignSupernet",
+    "search_alignment",
+]

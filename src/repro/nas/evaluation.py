@@ -1,0 +1,198 @@
+"""Candidate evaluation shared by the trial-and-error NAS baselines.
+
+Every baseline of Section IV-A2 (Random, Bayesian, GraphNAS) follows
+the same inner loop: decode a candidate, train it from scratch (or
+with shared weights), read its validation score. The
+:class:`ArchitectureEvaluator` centralises that loop, records the
+(time, best-so-far test score) trajectory behind Figure 3, and counts
+wall-clock for Table VII.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core.derive import architecture_to_model
+from repro.core.search_space import Architecture
+from repro.gnn.models import GNNModel
+from repro.graph.data import Graph, MultiGraphDataset
+from repro.nas.encoding import DecisionSpace
+from repro.nn.module import Module
+from repro.train.trainer import TrainConfig, fit
+
+__all__ = ["EvaluationRecord", "ArchitectureEvaluator", "build_spec_model"]
+
+
+def build_spec_model(
+    spec: dict,
+    in_dim: int,
+    num_classes: int,
+    rng: np.random.Generator,
+    dropout: float = 0.5,
+) -> GNNModel:
+    """Build a model from a GraphNAS-style spec dict.
+
+    The spec mixes architecture and hyper-parameters (per-layer hidden
+    size / activation / heads), which is exactly what the SANE paper
+    argues inflates the search space.
+    """
+    return GNNModel(
+        in_dim=in_dim,
+        hidden_dim=list(spec["hidden_dims"]),
+        num_classes=num_classes,
+        node_aggregators=list(spec["node_aggregators"]),
+        rng=rng,
+        layer_aggregator=None,
+        dropout=dropout,
+        activation=list(spec["activations"]),
+        heads=list(spec["heads"]),
+    )
+
+
+@dataclasses.dataclass
+class EvaluationRecord:
+    """One candidate evaluation."""
+
+    indices: tuple[int, ...]
+    val_score: float
+    test_score: float
+    elapsed: float  # cumulative seconds since the evaluator was created
+
+
+class ArchitectureEvaluator:
+    """Train-and-score loop over a :class:`DecisionSpace`.
+
+    Candidates decoding to :class:`Architecture` are instantiated via
+    :func:`architecture_to_model`; dict specs via
+    :func:`build_spec_model`. ``shared_state`` enables the GraphNAS-WS
+    behaviour: per-position op weights persist across candidates and
+    each candidate trains only a short adaptation schedule.
+    """
+
+    def __init__(
+        self,
+        space: DecisionSpace,
+        data: Graph | MultiGraphDataset,
+        train_config: TrainConfig | None = None,
+        hidden_dim: int = 32,
+        dropout: float = 0.5,
+        seed: int = 0,
+        weight_sharing: bool = False,
+        ws_epochs: int = 30,
+    ):
+        self.space = space
+        self.data = data
+        self.train_config = train_config or TrainConfig()
+        self.hidden_dim = hidden_dim
+        self.dropout = dropout
+        self.weight_sharing = weight_sharing
+        self.ws_epochs = ws_epochs
+        self._rng = np.random.default_rng(seed)
+        self._bank: dict[str, np.ndarray] = {}
+        self.records: list[EvaluationRecord] = []
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def evaluate(self, indices: tuple[int, ...]) -> EvaluationRecord:
+        """Train the candidate and append its record."""
+        model = self._build(indices)
+        config = self.train_config
+        if self.weight_sharing:
+            self._load_shared(model, indices)
+            config = config.replace(epochs=self.ws_epochs, patience=self.ws_epochs)
+        result = fit(model, self.data, config)
+        if self.weight_sharing:
+            self._store_shared(model, indices)
+        record = EvaluationRecord(
+            indices=tuple(indices),
+            val_score=result.val_score,
+            test_score=result.test_score,
+            elapsed=time.perf_counter() - self._started,
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def best_record(self) -> EvaluationRecord:
+        if not self.records:
+            raise RuntimeError("no candidates evaluated yet")
+        return max(self.records, key=lambda r: r.val_score)
+
+    def trajectory(self) -> list[tuple[float, float]]:
+        """(elapsed, best-so-far test score) series for Figure 3."""
+        points = []
+        best_val = -1.0
+        best_test = 0.0
+        for record in self.records:
+            if record.val_score > best_val:
+                best_val = record.val_score
+                best_test = record.test_score
+            points.append((record.elapsed, best_test))
+        return points
+
+    # ------------------------------------------------------------------
+    def _build(self, indices: tuple[int, ...]) -> Module:
+        decoded = self.space.decode(indices)
+        seed = int(self._rng.integers(2**31))
+        rng = np.random.default_rng(seed)
+        if isinstance(decoded, Architecture):
+            return architecture_to_model(
+                decoded,
+                in_dim=self.data.num_features,
+                num_classes=self.data.num_classes,
+                rng=rng,
+                hidden_dim=self.hidden_dim,
+                dropout=self.dropout,
+            )
+        if "mlp_layers" in decoded:
+            from repro.gnn.mlp_aggregator import MLPGNNModel
+
+            return MLPGNNModel(
+                in_dim=self.data.num_features,
+                hidden_dim=self.hidden_dim,
+                num_classes=self.data.num_classes,
+                layer_specs=decoded["mlp_layers"],
+                rng=rng,
+                dropout=self.dropout,
+            )
+        return build_spec_model(
+            decoded,
+            in_dim=self.data.num_features,
+            num_classes=self.data.num_classes,
+            rng=rng,
+            dropout=self.dropout,
+        )
+
+    # ------------------------------------------------------------------
+    # weight sharing (GraphNAS-WS)
+    # ------------------------------------------------------------------
+    def _shared_keys(self, model: Module, indices: tuple[int, ...]):
+        """Map parameter paths to bank keys tagged by the decision vector.
+
+        Parameters under ``layers.<i>`` are shared across candidates
+        that picked the same op at position ``i`` (and same dims);
+        the classifier is shared unconditionally.
+        """
+        description = self.space.describe(indices).split(", ")
+        for name, param in model.named_parameters():
+            if name.startswith("layers."):
+                layer_idx = name.split(".")[1]
+                tag = description[int(layer_idx)] if int(layer_idx) < len(description) else ""
+                yield name, f"L{layer_idx}|{tag}|{name}|{param.data.shape}"
+            elif name.startswith("classifier"):
+                yield name, f"head|{name}|{param.data.shape}"
+
+    def _load_shared(self, model: Module, indices: tuple[int, ...]) -> None:
+        params = dict(model.named_parameters())
+        for name, key in self._shared_keys(model, indices):
+            stored = self._bank.get(key)
+            if stored is not None and stored.shape == params[name].data.shape:
+                params[name].data = stored.copy()
+
+    def _store_shared(self, model: Module, indices: tuple[int, ...]) -> None:
+        params = dict(model.named_parameters())
+        for name, key in self._shared_keys(model, indices):
+            self._bank[key] = params[name].data.copy()

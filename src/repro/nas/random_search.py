@@ -1,0 +1,61 @@
+"""Random search baseline (Bergstra & Bengio 2012) — "Random" in Table VI.
+
+Uniformly samples candidates from the decision space, trains each till
+convergence, and keeps the best by validation score — the simplest
+trial-and-error NAS loop and the reference point for search-cost
+comparisons (Table VII).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.nas.evaluation import ArchitectureEvaluator, EvaluationRecord
+
+__all__ = ["SearchOutcome", "random_search"]
+
+
+@dataclasses.dataclass
+class SearchOutcome:
+    """Common result type for all trial-and-error searchers."""
+
+    best: EvaluationRecord
+    records: list[EvaluationRecord]
+    trajectory: list[tuple[float, float]]
+    search_time: float
+
+    def decode(self, space):
+        return space.decode(self.best.indices)
+
+
+def random_search(
+    evaluator: ArchitectureEvaluator,
+    num_candidates: int,
+    seed: int = 0,
+    deduplicate: bool = True,
+) -> SearchOutcome:
+    """Evaluate ``num_candidates`` uniform samples; return the best.
+
+    ``deduplicate`` skips exact repeats (retrying up to 20 times),
+    which matters in small spaces like Table X's MLP grid.
+    """
+    rng = np.random.default_rng(seed)
+    seen: set[tuple[int, ...]] = set()
+    for __ in range(num_candidates):
+        indices = evaluator.space.sample_indices(rng)
+        if deduplicate:
+            for __retry in range(20):
+                if indices not in seen:
+                    break
+                indices = evaluator.space.sample_indices(rng)
+        seen.add(indices)
+        evaluator.evaluate(indices)
+    records = evaluator.records
+    return SearchOutcome(
+        best=evaluator.best_record,
+        records=list(records),
+        trajectory=evaluator.trajectory(),
+        search_time=records[-1].elapsed if records else 0.0,
+    )

@@ -1,0 +1,108 @@
+"""Hyper-parameter fine-tuning (the paper's hyperopt stage).
+
+After an architecture is derived/selected, the paper tunes its
+hyper-parameters with hyperopt for 50 iterations on validation data
+(Appendix C, Table XII) — head count, hidden size, learning rate, L2
+norm, activation. This module reimplements that stage with our own
+:class:`~repro.nas.tpe.TPESampler` over a discretised grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.core.derive import retrain
+from repro.core.search_space import Architecture
+from repro.graph.data import Graph, MultiGraphDataset
+from repro.nas.encoding import Decision, DecisionSpace
+from repro.nas.tpe import TPESampler
+from repro.train.trainer import TrainConfig
+
+__all__ = ["TuneResult", "hyperparameter_space", "tune", "tune_architecture"]
+
+
+@dataclasses.dataclass
+class TuneResult:
+    best_assignment: dict
+    best_score: float
+    trials: list[tuple[dict, float]]
+
+
+def hyperparameter_space(
+    hidden_choices: tuple[int, ...] = (16, 32, 64),
+    head_choices: tuple[int, ...] = (1, 2, 4),
+) -> DecisionSpace:
+    """The Table XII hyper-parameter grid (discretised)."""
+    decisions = [
+        Decision("hidden_dim", hidden_choices),
+        Decision("heads", head_choices),
+        Decision("lr", (1e-3, 2.5e-3, 5e-3, 1e-2)),
+        Decision("weight_decay", (0.0, 1e-5, 1e-4, 5e-4)),
+        Decision("dropout", (0.2, 0.4, 0.6)),
+        Decision("activation", ("relu", "elu", "tanh")),
+    ]
+    return DecisionSpace(decisions, decoder=lambda assignment: assignment, name="hparams")
+
+
+def tune(
+    objective: Callable[[dict], float],
+    space: DecisionSpace,
+    num_trials: int,
+    seed: int = 0,
+) -> TuneResult:
+    """Maximise ``objective`` over ``space`` with TPE proposals."""
+    if num_trials < 1:
+        raise ValueError("num_trials must be >= 1")
+    rng = np.random.default_rng(seed)
+    sampler = TPESampler(space, rng)
+    trials: list[tuple[dict, float]] = []
+    best_assignment = None
+    best_score = -np.inf
+    for __ in range(num_trials):
+        indices = sampler.propose()
+        assignment = space.decode(indices)
+        score = objective(assignment)
+        sampler.observe(indices, score)
+        trials.append((assignment, score))
+        if score > best_score:
+            best_score = score
+            best_assignment = assignment
+    return TuneResult(best_assignment, best_score, trials)
+
+
+def tune_architecture(
+    arch: Architecture,
+    data: Graph | MultiGraphDataset,
+    num_trials: int = 10,
+    seed: int = 0,
+    train_config: TrainConfig | None = None,
+    space: DecisionSpace | None = None,
+) -> TuneResult:
+    """Fine-tune a derived architecture's hyper-parameters on validation.
+
+    Mirrors the paper's protocol: each trial retrains from scratch with
+    the candidate hyper-parameters and scores on the validation split.
+    """
+    space = space or hyperparameter_space()
+    base_config = train_config or TrainConfig()
+
+    def objective(assignment: dict) -> float:
+        config = base_config.replace(
+            lr=assignment["lr"], weight_decay=assignment["weight_decay"]
+        )
+        result = retrain(
+            arch,
+            data,
+            seed=seed,
+            hidden_dim=assignment["hidden_dim"],
+            dropout=assignment["dropout"],
+            heads=assignment["heads"],
+            activation=assignment["activation"],
+            train_config=config,
+        )
+        return result.val_score
+
+    return tune(objective, space, num_trials, seed)

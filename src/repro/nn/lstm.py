@@ -1,0 +1,109 @@
+"""LSTM cells and the sequence LSTM used by layer aggregation.
+
+Two consumers in the paper's search space need recurrence:
+
+* the **LSTM layer aggregator** (Table I, ``O_l``): JK-Network runs a
+  (bi-directional) LSTM over the K per-layer embeddings of each node
+  and attends over the outputs;
+* **GeniePath** (Table XI): its depth function is an LSTM-style gated
+  update applied to the aggregated neighborhood message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["LSTMCell", "BiLSTMAttention"]
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell: input/forget/cell/output gates.
+
+    Gates are computed from the concatenation ``[x, h]`` with a single
+    fused weight matrix for efficiency.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight = Parameter(
+            init.xavier_uniform((input_dim + hidden_dim, 4 * hidden_dim), rng)
+        )
+        bias = init.zeros((4 * hidden_dim,))
+        # Standard trick: bias the forget gate open at initialisation.
+        bias[hidden_dim : 2 * hidden_dim] = 1.0
+        self.bias = Parameter(bias)
+
+    def init_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_dim), dtype=np.float64)
+        return Tensor(zeros), Tensor(zeros)
+
+    def forward(self, x, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        x = as_tensor(x)
+        combined = ops.concatenate([x, h_prev], axis=1)
+        gates = combined @ self.weight + self.bias
+        d = self.hidden_dim
+        i_gate = F.sigmoid(gates[:, 0 * d : 1 * d])
+        f_gate = F.sigmoid(gates[:, 1 * d : 2 * d])
+        g_gate = F.tanh(gates[:, 2 * d : 3 * d])
+        o_gate = F.sigmoid(gates[:, 3 * d : 4 * d])
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * F.tanh(c_new)
+        return h_new, c_new
+
+
+class BiLSTMAttention(Module):
+    """Bi-directional LSTM + attention over a short sequence.
+
+    This is the JK-Network LSTM layer aggregator: for each node, the
+    sequence of its K per-layer embeddings is encoded forward and
+    backward; a learned scorer produces per-position attention which
+    forms a convex combination of the inputs.
+
+    Input shape ``(N, K, d)``, output shape ``(N, d)``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.forward_cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.backward_cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.scorer = Parameter(init.xavier_uniform((2 * hidden_dim, 1), rng))
+
+    def forward(self, sequence) -> Tensor:
+        sequence = as_tensor(sequence)
+        if sequence.ndim != 3:
+            raise ValueError(f"expected (N, K, d) input, got {sequence.shape}")
+        num_nodes, length, __ = sequence.shape
+
+        steps = [ops.getitem(sequence, (slice(None), t)) for t in range(length)]
+        forward_outs = self._run(self.forward_cell, steps, num_nodes)
+        backward_outs = self._run(self.backward_cell, steps[::-1], num_nodes)[::-1]
+
+        # Score each position from the concatenated bidirectional state.
+        scores = []
+        for fwd, bwd in zip(forward_outs, backward_outs):
+            both = ops.concatenate([fwd, bwd], axis=1)
+            scores.append(both @ self.scorer)
+        score_mat = ops.concatenate(scores, axis=1)  # (N, K)
+        attention = F.softmax(score_mat, axis=1)
+
+        weighted = attention.reshape(num_nodes, length, 1) * sequence
+        return ops.sum(weighted, axis=1)
+
+    @staticmethod
+    def _run(cell: LSTMCell, steps: list[Tensor], batch: int) -> list[Tensor]:
+        state = cell.init_state(batch)
+        outputs = []
+        for step in steps:
+            h, c = cell(step, state)
+            state = (h, c)
+            outputs.append(h)
+        return outputs

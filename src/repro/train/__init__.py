@@ -1,0 +1,22 @@
+"""Training loops and evaluation metrics."""
+
+from repro.train.trainer import (
+    TrainConfig,
+    TrainResult,
+    fit,
+    train_inductive,
+    train_transductive,
+)
+from repro.train.metrics import accuracy, micro_f1, mean_std, format_mean_std
+
+__all__ = [
+    "TrainConfig",
+    "TrainResult",
+    "fit",
+    "train_inductive",
+    "train_transductive",
+    "accuracy",
+    "micro_f1",
+    "mean_std",
+    "format_mean_std",
+]

@@ -1,0 +1,192 @@
+"""Finite-difference verification of every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(42)
+MATRIX = RNG.normal(size=(4, 3))
+POSITIVE = np.abs(RNG.normal(size=(4, 3))) + 0.5
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "name, fn, data",
+        [
+            ("exp", ops.exp, MATRIX),
+            ("log", ops.log, POSITIVE),
+            ("sqrt", ops.sqrt, POSITIVE),
+            ("tanh", ops.tanh, MATRIX),
+            ("sigmoid", ops.sigmoid, MATRIX),
+            ("softplus", ops.softplus, MATRIX),
+            ("abs", ops.abs, MATRIX + 0.1),  # keep away from the kink
+            ("neg", ops.neg, MATRIX),
+        ],
+    )
+    def test_unary(self, name, fn, data):
+        check_gradient(lambda t: ops.sum(fn(t)), data)
+
+    def test_pow(self):
+        check_gradient(lambda t: ops.sum(ops.pow(t, 3.0)), MATRIX)
+
+    def test_pow_fractional_on_positive(self):
+        check_gradient(lambda t: ops.sum(ops.pow(t, 0.5)), POSITIVE)
+
+    def test_add_both_sides(self):
+        other = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: ops.sum(ops.add(t, other) * ops.add(other, t)), MATRIX)
+
+    def test_sub_and_div(self):
+        other = Tensor(POSITIVE)
+        check_gradient(lambda t: ops.sum(ops.div(ops.sub(t, other), other)), MATRIX)
+
+    def test_div_denominator_gradient(self):
+        numerator = Tensor(MATRIX)
+        check_gradient(lambda t: ops.sum(ops.div(numerator, t)), POSITIVE)
+
+    def test_mul_broadcast(self):
+        row = Tensor(RNG.normal(size=(1, 3)))
+        check_gradient(lambda t: ops.sum(ops.mul(t, row)), MATRIX)
+
+    def test_maximum_gradient(self):
+        other = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: ops.sum(ops.maximum(t, other)), MATRIX + 0.05)
+
+    def test_maximum_tie_splits_gradient(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [0.5])
+
+    def test_clip_gradient_masks_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        ops.clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_clip_one_sided(self):
+        x = Tensor(np.array([-2.0, 2.0]), requires_grad=True)
+        ops.clip(x, low=0.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        ops.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_where_accepts_tensor_condition(self):
+        cond = Tensor(np.array([1.0, 0.0]))
+        out = ops.where(cond, Tensor([5.0, 5.0]), Tensor([7.0, 7.0]))
+        np.testing.assert_allclose(out.data, [5.0, 7.0])
+
+    def test_tensor_clip_method(self):
+        x = Tensor(np.array([-3.0, 0.0, 3.0]), requires_grad=True)
+        y = x.clip(-1.0, 1.0)
+        np.testing.assert_allclose(y.data, [-1.0, 0.0, 1.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestMatmul:
+    def test_forward_matches_numpy(self):
+        a, b = RNG.normal(size=(3, 4)), RNG.normal(size=(4, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_gradient_left(self):
+        b = Tensor(RNG.normal(size=(3, 2)))
+        check_gradient(lambda t: ops.sum(ops.matmul(t, b)), RNG.normal(size=(4, 3)))
+
+    def test_gradient_right(self):
+        a = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: ops.sum(ops.matmul(a, t)), RNG.normal(size=(3, 2)))
+
+    def test_batched(self):
+        a = Tensor(RNG.normal(size=(5, 3, 4)))
+        check_gradient(lambda t: ops.sum(ops.matmul(a, t)), RNG.normal(size=(4, 2)))
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ValueError, match="ndim"):
+            ops.matmul(Tensor(np.ones(3)), Tensor(np.ones((3, 2))))
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_sum_gradient(self, axis, keepdims):
+        check_gradient(lambda t: ops.sum(ops.sum(t, axis=axis, keepdims=keepdims)), MATRIX)
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean_gradient(self, axis):
+        check_gradient(lambda t: ops.sum(ops.mean(t, axis=axis)), MATRIX)
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_max_gradient(self, axis):
+        data = RNG.normal(size=(4, 3))  # distinct values, no ties
+        check_gradient(lambda t: ops.sum(ops.max(t, axis=axis)), data)
+
+    def test_max_forward(self):
+        x = Tensor(MATRIX)
+        np.testing.assert_allclose(ops.max(x, axis=0).data, MATRIX.max(axis=0))
+
+    def test_max_tie_shares_gradient(self):
+        x = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        ops.max(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_mean_value(self):
+        assert ops.mean(Tensor(np.array([1.0, 3.0]))).item() == 2.0
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        check_gradient(lambda t: ops.sum(ops.reshape(t, (12,)) * 2.0), MATRIX)
+
+    def test_transpose_gradient(self):
+        check_gradient(lambda t: ops.sum(ops.transpose(t) * Tensor(MATRIX.T)), MATRIX)
+
+    def test_transpose_with_axes(self):
+        data = RNG.normal(size=(2, 3, 4))
+        weight = Tensor(RNG.normal(size=(4, 2, 3)))
+        check_gradient(
+            lambda t: ops.sum(ops.transpose(t, (2, 0, 1)) * weight), data
+        )
+
+    def test_getitem_fancy_accumulates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        ops.getitem(x, idx).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_getitem_gradcheck(self):
+        idx = np.array([0, 2, 2, 1])
+        check_gradient(lambda t: ops.sum(ops.getitem(t, idx) ** 2.0), MATRIX)
+
+    def test_concatenate_gradients(self):
+        b = Tensor(RNG.normal(size=(2, 3)))
+        check_gradient(
+            lambda t: ops.sum(ops.concatenate([t, b], axis=0) ** 2.0), MATRIX
+        )
+
+    def test_concatenate_axis1(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = ops.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_stack_gradients(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        out = ops.stack([a, b], axis=1)
+        assert out.shape == (2, 2)
+        (out * Tensor(np.array([[1.0, 10.0], [100.0, 1000.0]]))).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 100.0])
+        np.testing.assert_allclose(b.grad, [10.0, 1000.0])

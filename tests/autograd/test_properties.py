@@ -1,0 +1,127 @@
+"""Hypothesis property tests for the autograd substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, functional as F, ops
+from repro.autograd.scatter import segment_mean, segment_softmax, segment_sum
+from repro.autograd.tensor import _unbroadcast
+
+finite = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+def matrices(max_rows=6, max_cols=5):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(1, max_rows), st.integers(1, max_cols)),
+        elements=finite,
+    )
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_grad_of_sum_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    ops.sum(x).backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@given(matrices(), st.floats(-5, 5, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_grad_is_linear_in_seed(data, scale):
+    x1 = Tensor(data, requires_grad=True)
+    (ops.sum(x1 * x1)).backward()
+    x2 = Tensor(data, requires_grad=True)
+    (ops.sum(x2 * x2) * scale).backward()
+    np.testing.assert_allclose(x2.grad, scale * x1.grad, atol=1e-8, rtol=1e-8)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_softmax_rows_are_distributions(data):
+    out = F.softmax(Tensor(data), axis=1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_relu_output_nonnegative_and_sparse_grad(data):
+    x = Tensor(data, requires_grad=True)
+    out = F.relu(x)
+    assert (out.data >= 0).all()
+    ops.sum(out).backward()
+    assert set(np.unique(x.grad)) <= {0.0, 1.0}
+
+
+@given(
+    arrays(np.float64, st.integers(1, 30), elements=finite),
+    st.integers(1, 5),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_segment_sum_partition_property(data, num_segments, random):
+    seg = np.array([random.randrange(num_segments) for __ in data], dtype=np.int64)
+    out = segment_sum(Tensor(data), seg, num_segments).data
+    assert abs(out.sum() - data.sum()) < 1e-6 * max(1.0, abs(data).sum())
+
+
+@given(
+    arrays(np.float64, st.integers(1, 30), elements=st.floats(-50, 50)),
+    st.integers(1, 5),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_segment_softmax_is_distribution_per_nonempty_segment(data, num_segments, random):
+    seg = np.array([random.randrange(num_segments) for __ in data], dtype=np.int64)
+    out = segment_softmax(Tensor(data), seg, num_segments).data
+    assert (out >= 0).all()
+    sums = np.bincount(seg, weights=out, minlength=num_segments)
+    present = np.bincount(seg, minlength=num_segments) > 0
+    np.testing.assert_allclose(sums[present], 1.0, atol=1e-9)
+
+
+@given(
+    arrays(np.float64, st.tuples(st.integers(1, 10), st.integers(1, 4)), elements=finite),
+    st.integers(1, 4),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_segment_mean_within_bounds(data, num_segments, random):
+    seg = np.array([random.randrange(num_segments) for __ in data], dtype=np.int64)
+    out = segment_mean(Tensor(data), seg, num_segments).data
+    for s in range(num_segments):
+        members = data[seg == s]
+        if len(members):
+            assert (out[s] >= members.min(axis=0) - 1e-9).all()
+            assert (out[s] <= members.max(axis=0) + 1e-9).all()
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_unbroadcast_restores_shape(data):
+    broadcast = np.broadcast_to(data, (3,) + data.shape)
+    reduced = _unbroadcast(np.array(broadcast), data.shape)
+    np.testing.assert_allclose(reduced, 3 * data)
+
+
+@given(matrices(max_rows=4, max_cols=4))
+@settings(max_examples=30, deadline=None)
+def test_double_transpose_identity(data):
+    x = Tensor(data, requires_grad=True)
+    y = ops.transpose(ops.transpose(x))
+    np.testing.assert_allclose(y.data, data)
+    ops.sum(y * y).backward()
+    np.testing.assert_allclose(x.grad, 2 * data, atol=1e-9)
+
+
+@given(matrices(), matrices())
+@settings(max_examples=30, deadline=None)
+def test_add_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = ops.add(Tensor(a), Tensor(b)).data
+    right = ops.add(Tensor(b), Tensor(a)).data
+    np.testing.assert_allclose(left, right)

@@ -1,0 +1,55 @@
+"""Second-order DARTS update (xi > 0 of Eq. 8)."""
+
+import numpy as np
+
+from repro.core.search import SaneSearcher, SearchConfig
+from repro.core.search_space import SearchSpace
+
+SPACE = SearchSpace(num_layers=2, node_ops=("gcn", "gat"), layer_ops=("concat",))
+
+
+class TestSecondOrder:
+    def test_runs_and_returns_architecture(self, tiny_graph):
+        config = SearchConfig(epochs=3, hidden_dim=8, xi=5e-3)
+        result = SaneSearcher(SPACE, tiny_graph, config, seed=0).search()
+        assert SPACE.contains(result.architecture)
+
+    def test_alphas_move(self, tiny_graph):
+        config = SearchConfig(epochs=3, hidden_dim=8, xi=5e-3)
+        searcher = SaneSearcher(SPACE, tiny_graph, config, seed=0)
+        before = searcher.supernet.alpha_node.data.copy()
+        searcher.search()
+        assert not np.allclose(before, searcher.supernet.alpha_node.data)
+
+    def test_weights_restored_after_virtual_step(self, tiny_graph):
+        """The alpha step must not permanently change w."""
+        config = SearchConfig(epochs=1, hidden_dim=8, xi=5e-3)
+        searcher = SaneSearcher(SPACE, tiny_graph, config, seed=0)
+        weights_before = [w.data.copy() for w in searcher.supernet.weight_parameters()]
+        searcher._alpha_step()
+        for before, param in zip(weights_before, searcher.supernet.weight_parameters()):
+            np.testing.assert_allclose(before, param.data)
+
+    def test_differs_from_first_order(self, tiny_graph):
+        first = SaneSearcher(
+            SPACE, tiny_graph, SearchConfig(epochs=2, hidden_dim=8, xi=0.0), seed=0
+        )
+        second = SaneSearcher(
+            SPACE, tiny_graph, SearchConfig(epochs=2, hidden_dim=8, xi=1e-2), seed=0
+        )
+        first.search()
+        second.search()
+        assert not np.allclose(
+            first.supernet.alpha_node.data, second.supernet.alpha_node.data
+        )
+
+    def test_xi_zero_matches_plain_path(self, tiny_graph):
+        a = SaneSearcher(
+            SPACE, tiny_graph, SearchConfig(epochs=2, hidden_dim=8, xi=0.0), seed=1
+        )
+        b = SaneSearcher(
+            SPACE, tiny_graph, SearchConfig(epochs=2, hidden_dim=8), seed=1
+        )
+        a.search()
+        b.search()
+        np.testing.assert_allclose(a.supernet.alpha_node.data, b.supernet.alpha_node.data)

@@ -1,0 +1,89 @@
+"""The 3 layer aggregators (CONCAT / MAX / LSTM)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.search_space import LAYER_OPS
+from repro.gnn.layer_aggregators import (
+    LAYER_AGGREGATORS,
+    ConcatLayerAggregator,
+    LSTMLayerAggregator,
+    MaxLayerAggregator,
+    create_layer_aggregator,
+)
+
+
+def layer_outputs(num_layers=3, num_nodes=7, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Tensor(rng.normal(size=(num_nodes, dim))) for __ in range(num_layers)]
+
+
+class TestRegistry:
+    def test_matches_paper_set(self):
+        assert set(LAYER_OPS) == set(LAYER_AGGREGATORS) == {"concat", "max", "lstm"}
+
+    def test_unknown_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown layer aggregator"):
+            create_layer_aggregator("mean", 3, 4, rng)
+
+
+class TestConcat:
+    def test_output_dim(self, rng):
+        agg = create_layer_aggregator("concat", 3, 4, rng)
+        assert agg.output_dim == 12
+        out = agg(layer_outputs())
+        assert out.shape == (7, 12)
+
+    def test_order_preserved(self, rng):
+        agg = ConcatLayerAggregator(2, 1)
+        a = Tensor(np.array([[1.0], [2.0]]))
+        b = Tensor(np.array([[3.0], [4.0]]))
+        np.testing.assert_allclose(agg([a, b]).data, [[1.0, 3.0], [2.0, 4.0]])
+
+    def test_rejects_wrong_count(self, rng):
+        agg = ConcatLayerAggregator(3, 4)
+        with pytest.raises(ValueError, match="expected 3"):
+            agg(layer_outputs(num_layers=2))
+
+
+class TestMax:
+    def test_elementwise_max(self):
+        agg = MaxLayerAggregator(2, 2)
+        a = Tensor(np.array([[1.0, 5.0]]))
+        b = Tensor(np.array([[3.0, 2.0]]))
+        np.testing.assert_allclose(agg([a, b]).data, [[3.0, 5.0]])
+
+    def test_output_dim_unchanged(self, rng):
+        agg = create_layer_aggregator("max", 3, 4, rng)
+        assert agg.output_dim == 4
+        assert agg(layer_outputs()).shape == (7, 4)
+
+    def test_gradient_routes_to_winner(self):
+        agg = MaxLayerAggregator(2, 1)
+        a = Tensor(np.array([[1.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0]]), requires_grad=True)
+        agg([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0]])
+        np.testing.assert_allclose(b.grad, [[1.0]])
+
+
+class TestLSTM:
+    def test_output_shape(self, rng):
+        agg = create_layer_aggregator("lstm", 3, 4, rng)
+        assert agg.output_dim == 4
+        assert agg(layer_outputs()).shape == (7, 4)
+
+    def test_has_trainable_parameters(self, rng):
+        agg = LSTMLayerAggregator(3, 4, rng)
+        assert agg.num_parameters() > 0
+
+    def test_gradients_flow(self, rng):
+        agg = LSTMLayerAggregator(2, 4, rng)
+        outputs = [
+            Tensor(np.random.default_rng(i).normal(size=(5, 4)), requires_grad=True)
+            for i in range(2)
+        ]
+        agg(outputs).sum().backward()
+        assert all(o.grad is not None for o in outputs)
+        assert all(p.grad is not None for p in agg.parameters())

@@ -1,0 +1,59 @@
+"""LGCN: channel-wise top-k ranking + positional convolution."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.gnn.common import GraphCache
+from repro.gnn.lgcn import LGCNLayer, LGCNModel, _channelwise_topk
+from repro.graph.data import Graph
+
+
+class TestChannelwiseTopK:
+    def test_sorts_descending_per_channel(self):
+        values = Tensor(np.array([[[1.0, 9.0], [5.0, 2.0], [3.0, 4.0]]]))
+        ranked = _channelwise_topk(values, 3).data
+        np.testing.assert_allclose(ranked[0, :, 0], [5.0, 3.0, 1.0])
+        np.testing.assert_allclose(ranked[0, :, 1], [9.0, 4.0, 2.0])
+
+    def test_gradient_follows_ranking(self):
+        values = Tensor(np.array([[[1.0], [5.0], [3.0]]]), requires_grad=True)
+        ranked = _channelwise_topk(values, 3)
+        # Weight top slot only.
+        (ranked[:, 0] * 1.0).sum().backward()
+        np.testing.assert_allclose(values.grad[0, :, 0], [0.0, 1.0, 0.0])
+
+
+class TestLGCNLayer:
+    def test_output_shape(self, tiny_graph, rng):
+        layer = LGCNLayer(tiny_graph.num_features, 6, k=3, rng=rng)
+        out = layer(Tensor(tiny_graph.features), GraphCache(tiny_graph))
+        assert out.shape == (tiny_graph.num_nodes, 6)
+
+    def test_isolated_node_uses_self_only(self, rng):
+        g = Graph(edge_index=np.zeros((2, 0), dtype=np.int64), features=np.ones((2, 3)))
+        layer = LGCNLayer(3, 4, k=2, rng=rng)
+        out = layer(Tensor(g.features), GraphCache(g)).data
+        expected = (
+            np.ones((1, 3)) @ layer.position_weights[0].data + layer.bias.data
+        )
+        np.testing.assert_allclose(out, np.tile(expected, (2, 1)), atol=1e-10)
+
+    def test_gradients_flow(self, tiny_graph, rng):
+        layer = LGCNLayer(tiny_graph.num_features, 4, k=2, rng=rng)
+        out = layer(Tensor(tiny_graph.features, requires_grad=True), GraphCache(tiny_graph))
+        out.sum().backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+
+class TestLGCNModel:
+    def test_forward_shape(self, tiny_graph, rng):
+        model = LGCNModel(
+            tiny_graph.num_features, 8, tiny_graph.num_classes, rng, num_layers=2
+        )
+        out = model(tiny_graph.features, GraphCache(tiny_graph))
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_describe(self, rng):
+        model = LGCNModel(4, 8, 2, rng, num_layers=3)
+        assert "lgcn" in model.describe()

@@ -1,0 +1,139 @@
+"""GNNModel and the human-designed baselines."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.common import GraphCache
+from repro.gnn.models import BASELINE_NAMES, GNNModel, build_baseline
+
+
+class TestGNNModel:
+    def test_forward_shape(self, tiny_graph, tiny_cache, rng):
+        model = GNNModel(
+            tiny_graph.num_features, 8, tiny_graph.num_classes, ["gcn", "gat"], rng
+        )
+        out = model(tiny_graph.features, tiny_cache)
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_requires_layers(self, rng):
+        with pytest.raises(ValueError, match="at least one"):
+            GNNModel(4, 8, 2, [], rng)
+
+    def test_skip_length_validated(self, rng):
+        with pytest.raises(ValueError, match="skip_connections"):
+            GNNModel(4, 8, 2, ["gcn"], rng, skip_connections=[True, False])
+
+    def test_jk_concat_head_dim(self, tiny_graph, tiny_cache, rng):
+        model = GNNModel(
+            tiny_graph.num_features,
+            8,
+            tiny_graph.num_classes,
+            ["gcn", "gcn", "gcn"],
+            rng,
+            layer_aggregator="concat",
+        )
+        assert model.classifier.in_features == 24
+
+    def test_zero_skip_removes_layer_influence(self, tiny_graph, tiny_cache):
+        """With JK and skip=ZERO on layer 1, only other layers matter."""
+        model = GNNModel(
+            tiny_graph.num_features,
+            8,
+            tiny_graph.num_classes,
+            ["gcn", "gcn"],
+            np.random.default_rng(0),
+            skip_connections=[False, True],
+            layer_aggregator="concat",
+            dropout=0.0,
+        )
+        model.eval()
+        embed = model.embed(tiny_graph.features, tiny_cache).data
+        np.testing.assert_allclose(embed[:, :8], 0.0)
+        assert np.abs(embed[:, 8:]).sum() > 0
+
+    def test_per_layer_hidden_dims(self, tiny_graph, tiny_cache, rng):
+        model = GNNModel(
+            tiny_graph.num_features,
+            [16, 8, 4],
+            tiny_graph.num_classes,
+            ["gcn", "sage-mean", "gin"],
+            rng,
+        )
+        out = model(tiny_graph.features, tiny_cache)
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+        assert model.classifier.in_features == 4
+
+    def test_per_layer_hidden_with_jk_rejected(self, rng):
+        with pytest.raises(ValueError, match="equal per-layer hidden"):
+            GNNModel(4, [8, 16], 2, ["gcn", "gcn"], rng, layer_aggregator="max")
+
+    def test_per_layer_activations(self, tiny_graph, tiny_cache, rng):
+        model = GNNModel(
+            tiny_graph.num_features,
+            8,
+            tiny_graph.num_classes,
+            ["gcn", "gcn"],
+            rng,
+            activation=["tanh", "relu"],
+        )
+        assert model(tiny_graph.features, tiny_cache).shape[0] == tiny_graph.num_nodes
+
+    def test_wrong_length_setting_list(self, rng):
+        with pytest.raises(ValueError, match="activation list"):
+            GNNModel(4, 8, 2, ["gcn", "gcn"], rng, activation=["relu"])
+
+    def test_describe(self, rng):
+        model = GNNModel(
+            4, 8, 2, ["gcn", "gat"], rng,
+            skip_connections=[True, False], layer_aggregator="max",
+        )
+        text = model.describe()
+        assert "gcn" in text and "gat" in text
+        assert "IZ" in text
+        assert "max" in text
+
+    def test_dropout_only_in_training(self, tiny_graph, tiny_cache):
+        model = GNNModel(
+            tiny_graph.num_features, 8, tiny_graph.num_classes, ["gcn"],
+            np.random.default_rng(0), dropout=0.9,
+        )
+        model.eval()
+        a = model(tiny_graph.features, tiny_cache).data
+        b = model(tiny_graph.features, tiny_cache).data
+        np.testing.assert_allclose(a, b)
+        model.train()
+        c = model(tiny_graph.features, tiny_cache).data
+        assert not np.allclose(a, c)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_build_all(self, name, tiny_graph, tiny_cache, rng):
+        model = build_baseline(
+            name, tiny_graph.num_features, tiny_graph.num_classes, rng, hidden_dim=8
+        )
+        out = model(tiny_graph.features, tiny_cache)
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_jk_variant_has_layer_aggregator(self, rng):
+        plain = build_baseline("gcn", 4, 2, rng)
+        jk = build_baseline("gcn-jk", 4, 2, rng)
+        assert plain.layer_aggregator is None
+        assert jk.layer_aggregator is not None
+
+    def test_jk_mode_selects_aggregator(self, rng):
+        lstm = build_baseline("gat-jk", 4, 2, rng, jk_mode="lstm")
+        assert lstm.layer_aggregator_name == "lstm"
+
+    def test_sage_variants(self, rng):
+        for variant in ("sage-sum", "sage-mean", "sage-max"):
+            model = build_baseline(variant, 4, 2, rng, num_layers=2)
+            assert model.node_aggregator_names == [variant, variant]
+
+    def test_unknown_baseline_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            build_baseline("transformer", 4, 2, rng)
+
+    def test_num_layers_respected(self, rng):
+        model = build_baseline("gin", 4, 2, rng, num_layers=5)
+        assert model.num_layers == 5

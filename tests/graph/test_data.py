@@ -1,0 +1,106 @@
+"""Graph and MultiGraphDataset container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.data import Graph, MultiGraphDataset
+
+
+def small_graph(**overrides):
+    kwargs = dict(
+        edge_index=np.array([[0, 1], [1, 0]]),
+        features=np.ones((3, 4)),
+        labels=np.array([0, 1, 1]),
+        name="g",
+    )
+    kwargs.update(overrides)
+    return Graph(**kwargs)
+
+
+class TestGraphValidation:
+    def test_basic_properties(self):
+        g = small_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.num_features == 4
+        assert g.num_classes == 2
+        assert not g.is_multilabel
+
+    def test_rejects_bad_edge_index_shape(self):
+        with pytest.raises(ValueError, match=r"\(2, E\)"):
+            small_graph(edge_index=np.array([0, 1, 2]))
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError, match="beyond"):
+            small_graph(edge_index=np.array([[0], [99]]))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match=r"\(N, F\)"):
+            small_graph(features=np.ones(3))
+
+    def test_multilabel_detection(self):
+        g = small_graph(labels=np.eye(3, dtype=np.int64))
+        assert g.is_multilabel
+        assert g.num_classes == 3
+
+    def test_num_classes_without_labels_raises(self):
+        g = small_graph(labels=None)
+        with pytest.raises(ValueError, match="labels"):
+            g.num_classes
+
+    def test_src_dst_views(self):
+        g = small_graph()
+        np.testing.assert_array_equal(g.src, [0, 1])
+        np.testing.assert_array_equal(g.dst, [1, 0])
+
+    def test_mask_accessor_raises_when_missing(self):
+        with pytest.raises(ValueError, match="train"):
+            small_graph().mask("train")
+
+    def test_mask_accessor_returns_mask(self):
+        mask = np.array([True, False, True])
+        g = small_graph(train_mask=mask)
+        np.testing.assert_array_equal(g.mask("train"), mask)
+
+    def test_replace_is_functional(self):
+        g = small_graph()
+        g2 = g.replace(name="other")
+        assert g.name == "g"
+        assert g2.name == "other"
+
+    def test_repr(self):
+        assert "N=3" in repr(small_graph())
+
+
+class TestMultiGraphDataset:
+    def make(self):
+        graphs = [
+            small_graph(labels=np.eye(3, dtype=np.int64), name=f"g{i}")
+            for i in range(4)
+        ]
+        return MultiGraphDataset(graphs[:2], graphs[2:3], graphs[3:], name="ds")
+
+    def test_properties(self):
+        ds = self.make()
+        assert ds.num_features == 4
+        assert ds.num_classes == 3
+        assert len(ds.all_graphs) == 4
+
+    def test_totals(self):
+        nodes, edges = self.make().totals()
+        assert nodes == 12
+        assert edges == 8
+
+    def test_requires_training_graphs(self):
+        g = small_graph()
+        with pytest.raises(ValueError, match="training graph"):
+            MultiGraphDataset([], [g], [g])
+
+    def test_rejects_mixed_feature_dims(self):
+        a = small_graph()
+        b = small_graph(features=np.ones((3, 7)))
+        with pytest.raises(ValueError, match="feature dims"):
+            MultiGraphDataset([a], [b], [a])
+
+    def test_repr(self):
+        assert "2/1/1" in repr(self.make())

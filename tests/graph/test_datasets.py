@@ -1,0 +1,110 @@
+"""Named benchmark datasets and split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.graph.data import Graph, MultiGraphDataset
+from repro.graph.datasets import (
+    ALL_DATASETS,
+    TRANSDUCTIVE_DATASETS,
+    dataset_statistics,
+    load_dataset,
+    transductive_split,
+)
+
+
+class TestSplits:
+    def test_masks_are_disjoint_and_cover(self, tiny_graph):
+        total = (
+            tiny_graph.train_mask.astype(int)
+            + tiny_graph.val_mask.astype(int)
+            + tiny_graph.test_mask.astype(int)
+        )
+        assert (total == 1).all()
+
+    def test_fractions_roughly_60_20_20(self, tiny_graph):
+        n = tiny_graph.num_nodes
+        assert abs(tiny_graph.train_mask.mean() - 0.6) < 0.1
+        assert abs(tiny_graph.val_mask.mean() - 0.2) < 0.1
+
+    def test_stratified_every_class_in_train(self, tiny_graph):
+        train_classes = set(tiny_graph.labels[tiny_graph.train_mask])
+        assert train_classes == set(np.unique(tiny_graph.labels))
+
+    def test_rejects_multilabel(self):
+        g = Graph(
+            edge_index=np.array([[0], [1]]),
+            features=np.ones((2, 2)),
+            labels=np.eye(2, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="single-label"):
+            transductive_split(g, np.random.default_rng(0))
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", TRANSDUCTIVE_DATASETS)
+    def test_transductive_datasets(self, name):
+        g = load_dataset(name, scale=0.3)
+        assert isinstance(g, Graph)
+        assert g.train_mask is not None
+        assert g.name == name
+
+    def test_ppi_is_inductive(self):
+        ds = load_dataset("ppi", scale=0.5)
+        assert isinstance(ds, MultiGraphDataset)
+        assert len(ds.val_graphs) >= 1
+        assert len(ds.test_graphs) >= 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_deterministic_in_seed(self):
+        a = load_dataset("cora", seed=4, scale=0.3)
+        b = load_dataset("cora", seed=4, scale=0.3)
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_array_equal(a.train_mask, b.train_mask)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("cora", seed=1, scale=0.3)
+        b = load_dataset("cora", seed=2, scale=0.3)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("cora", scale=0.3)
+        large = load_dataset("cora", scale=1.0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_class_counts_match_paper(self):
+        assert load_dataset("cora", scale=0.3).num_classes == 7
+        assert load_dataset("citeseer", scale=0.3).num_classes == 6
+        assert load_dataset("pubmed", scale=0.3).num_classes == 3
+
+    def test_ppi_feature_projection_shared_across_graphs(self):
+        """Same membership pattern → similar features across graphs."""
+        ds = load_dataset("ppi", scale=0.5)
+        g1, g2 = ds.train_graphs[0], ds.test_graphs[0]
+        # Compute least-squares community->feature maps for each graph;
+        # they must agree because the projection is shared.
+        map1 = np.linalg.lstsq(g1.labels.astype(float), g1.features, rcond=None)[0]
+        map2 = np.linalg.lstsq(g2.labels.astype(float), g2.features, rcond=None)[0]
+        correlation = np.corrcoef(map1.ravel(), map2.ravel())[0, 1]
+        # Independent projections would correlate near 0; the shared
+        # projection survives the heavy feature noise at ~0.7-0.8.
+        assert correlation > 0.5
+
+
+class TestStatistics:
+    def test_rows_for_all_datasets(self):
+        rows = dataset_statistics(scale=0.3)
+        assert len(rows) == len(ALL_DATASETS)
+        names = {r["dataset"] for r in rows}
+        assert names == set(ALL_DATASETS)
+
+    def test_row_fields(self):
+        rows = dataset_statistics(scale=0.3)
+        for row in rows:
+            assert row["N"] > 0
+            assert row["E"] > 0
+            assert row["F"] > 0
+            assert row["C"] > 1

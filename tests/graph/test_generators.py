@@ -1,0 +1,129 @@
+"""Synthetic graph generators: determinism and signal properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import citation_graph, community_multilabel_graph
+
+
+def make_citation(seed=0, **overrides):
+    kwargs = dict(
+        num_nodes=200,
+        num_classes=5,
+        num_features=40,
+        rng=np.random.default_rng(seed),
+        avg_degree=4.0,
+        homophily=0.85,
+        feature_signal=0.6,
+        words_per_node=8,
+    )
+    kwargs.update(overrides)
+    return citation_graph(**kwargs)
+
+
+class TestCitationGraph:
+    def test_deterministic_given_seed(self):
+        a, b = make_citation(3), make_citation(3)
+        np.testing.assert_array_equal(a.edge_index, b.edge_index)
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a, b = make_citation(1), make_citation(2)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_undirected(self):
+        g = make_citation()
+        pairs = set(map(tuple, g.edge_index.T))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_homophily_above_random(self):
+        g = make_citation()
+        same = (g.labels[g.src] == g.labels[g.dst]).mean()
+        assert same > 2.0 / g.num_classes
+
+    def test_homophily_knob_monotone(self):
+        low = make_citation(homophily=0.3)
+        high = make_citation(homophily=0.95)
+        low_h = (low.labels[low.src] == low.labels[low.dst]).mean()
+        high_h = (high.labels[high.src] == high.labels[high.dst]).mean()
+        assert high_h > low_h
+
+    def test_features_row_normalised(self):
+        g = make_citation()
+        sums = g.features.sum(axis=1)
+        positive = sums[sums > 0]
+        np.testing.assert_allclose(positive, 1.0)
+
+    def test_features_correlate_with_class(self):
+        g = make_citation(feature_signal=0.9)
+        # Class centroids should be more similar within than across classes.
+        centroids = np.stack(
+            [g.features[g.labels == c].mean(axis=0) for c in range(5)]
+        )
+        sim = centroids @ centroids.T
+        diag = np.diag(sim).mean()
+        off = sim[~np.eye(5, dtype=bool)].mean()
+        assert diag > off
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError, match="two classes"):
+            make_citation(num_classes=1)
+
+    def test_no_self_loops(self):
+        g = make_citation()
+        assert (g.src != g.dst).all()
+
+
+def make_community(seed=0, **overrides):
+    kwargs = dict(
+        num_nodes=100,
+        num_communities=6,
+        num_features=20,
+        rng=np.random.default_rng(seed),
+    )
+    kwargs.update(overrides)
+    return community_multilabel_graph(**kwargs)
+
+
+class TestCommunityGraph:
+    def test_multilabel_shape(self):
+        g = make_community()
+        assert g.labels.shape == (100, 6)
+        assert g.is_multilabel
+
+    def test_every_node_has_a_community(self):
+        g = make_community()
+        assert (g.labels.sum(axis=1) >= 1).all()
+
+    def test_deterministic(self):
+        a, b = make_community(5), make_community(5)
+        np.testing.assert_array_equal(a.edge_index, b.edge_index)
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_shared_projection_shares_feature_semantics(self):
+        rng = np.random.default_rng(0)
+        projection = rng.normal(size=(6, 20))
+        a = community_multilabel_graph(
+            80, 6, 20, np.random.default_rng(1), projection=projection
+        )
+        b = community_multilabel_graph(
+            80, 6, 20, np.random.default_rng(2), projection=projection
+        )
+        # Same membership row implies similar (noisy) feature direction.
+        row_a = np.flatnonzero((a.labels == a.labels[0]).all(axis=1))
+        assert len(row_a) >= 1
+
+    def test_projection_shape_validated(self):
+        with pytest.raises(ValueError, match="projection"):
+            make_community(projection=np.zeros((2, 2)))
+
+    def test_features_unit_norm(self):
+        g = make_community()
+        norms = np.linalg.norm(g.features, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_community_edges_dominate(self):
+        g = make_community(intra_degree=8.0, noise_degree=0.5)
+        shares = (g.labels[g.src] * g.labels[g.dst]).sum(axis=1) > 0
+        assert shares.mean() > 0.6

@@ -1,0 +1,137 @@
+"""Graph preprocessing utilities and their invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.utils import (
+    add_self_loops,
+    coalesce,
+    degrees,
+    gcn_edge_weights,
+    padded_neighbor_index,
+    remove_self_loops,
+    to_undirected,
+)
+
+
+def random_edges(num_nodes, num_edges, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_nodes, size=(2, num_edges))
+
+
+class TestCoalesce:
+    def test_removes_duplicates(self):
+        edges = np.array([[0, 0, 1], [1, 1, 2]])
+        out = coalesce(edges, 3)
+        assert out.shape == (2, 2)
+
+    def test_empty_edges(self):
+        out = coalesce(np.zeros((2, 0), dtype=np.int64), 3)
+        assert out.shape == (2, 0)
+
+    def test_sorted_by_destination(self):
+        edges = np.array([[2, 0], [2, 0]])
+        out = coalesce(edges, 3)
+        assert out[1, 0] <= out[1, 1]
+
+
+class TestUndirected:
+    def test_mirrors_edges(self):
+        edges = np.array([[0], [1]])
+        out = to_undirected(edges, 2)
+        pairs = set(map(tuple, out.T))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_idempotent(self):
+        edges = random_edges(10, 30)
+        once = to_undirected(edges, 10)
+        twice = to_undirected(once, 10)
+        assert once.shape == twice.shape
+
+
+class TestSelfLoops:
+    def test_add_exactly_one_per_node(self):
+        edges = np.array([[0, 0], [0, 1]])  # existing self-loop at 0
+        out = add_self_loops(edges, 3)
+        loops = out[:, out[0] == out[1]]
+        assert loops.shape[1] == 3
+
+    def test_remove(self):
+        edges = np.array([[0, 1, 2], [0, 2, 2]])
+        out = remove_self_loops(edges)
+        assert out.shape[1] == 1
+
+    def test_isolated_nodes_get_loops(self):
+        out = add_self_loops(np.zeros((2, 0), dtype=np.int64), 4)
+        assert out.shape == (2, 4)
+
+
+class TestDegrees:
+    def test_in_out(self):
+        edges = np.array([[0, 0, 1], [1, 2, 2]])
+        np.testing.assert_allclose(degrees(edges, 3, "in"), [0, 1, 2])
+        np.testing.assert_allclose(degrees(edges, 3, "out"), [2, 1, 0])
+
+
+class TestGCNWeights:
+    def test_symmetric_normalisation_values(self):
+        # Path 0-1 with self-loops: degrees are 2, 2.
+        edges = add_self_loops(np.array([[0, 1], [1, 0]]), 2)
+        weights = gcn_edge_weights(edges, 2)
+        np.testing.assert_allclose(weights, 0.5)
+
+    def test_matches_dense_formula(self):
+        edges = to_undirected(random_edges(8, 15, seed=1), 8)
+        edges = add_self_loops(edges, 8)
+        weights = gcn_edge_weights(edges, 8)
+        dense = np.zeros((8, 8))
+        dense[edges[1], edges[0]] = weights
+        adj = np.zeros((8, 8))
+        adj[edges[1], edges[0]] = 1.0
+        deg = adj.sum(axis=1)
+        expected = adj / np.sqrt(np.outer(deg, deg))
+        np.testing.assert_allclose(dense, expected, atol=1e-12)
+
+    @given(st.integers(2, 20), st.integers(1, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_weights_positive_and_bounded(self, num_nodes, num_edges):
+        edges = to_undirected(random_edges(num_nodes, num_edges, seed=7), num_nodes)
+        edges = add_self_loops(edges, num_nodes)
+        weights = gcn_edge_weights(edges, num_nodes)
+        assert (weights > 0).all()
+        assert (weights <= 1.0 + 1e-12).all()
+
+
+class TestPaddedNeighbors:
+    def test_shapes_and_mask(self):
+        edges = np.array([[1, 2, 3], [0, 0, 0]])  # node 0 has 3 in-neighbors
+        rng = np.random.default_rng(0)
+        index, mask = padded_neighbor_index(edges, 4, k=2, rng=rng)
+        assert index.shape == (4, 2)
+        assert mask[0].all()  # subsampled to 2 of 3
+        assert not mask[1].any()
+
+    def test_padding_points_to_self(self):
+        edges = np.zeros((2, 0), dtype=np.int64)
+        rng = np.random.default_rng(0)
+        index, mask = padded_neighbor_index(edges, 3, k=2, rng=rng)
+        np.testing.assert_array_equal(index[:, 0], [0, 1, 2])
+        assert not mask.any()
+
+    def test_lists_actual_neighbors(self):
+        edges = np.array([[5], [2]])
+        rng = np.random.default_rng(0)
+        index, mask = padded_neighbor_index(edges, 6, k=3, rng=rng)
+        assert index[2, 0] == 5
+        assert mask[2, 0]
+        assert not mask[2, 1:].any()
+
+    def test_subsampling_uses_real_neighbors_only(self):
+        edges = np.array([[1, 2, 3, 4, 5], [0, 0, 0, 0, 0]])
+        rng = np.random.default_rng(0)
+        index, mask = padded_neighbor_index(edges, 6, k=3, rng=rng)
+        assert mask[0].all()
+        assert set(index[0]) <= {1, 2, 3, 4, 5}
+        assert len(set(index[0])) == 3  # sampled without replacement

@@ -1,0 +1,68 @@
+"""Graph pooling ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.graphclf.pooling import POOLING_OPS, create_pooling_op
+
+GRAPH_IDS = np.array([0, 0, 0, 1, 1])
+DATA = np.array(
+    [[1.0, 2.0], [3.0, 4.0], [5.0, 0.0], [10.0, 10.0], [20.0, 30.0]]
+)
+
+
+class TestRegistry:
+    def test_expected_ops(self):
+        assert set(POOLING_OPS) == {"mean", "max", "sum", "attention"}
+
+    def test_unknown_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown pooling"):
+            create_pooling_op("median", 4, rng)
+
+
+class TestReductions:
+    def test_mean(self, rng):
+        pool = create_pooling_op("mean", 2, rng)
+        out = pool(Tensor(DATA), GRAPH_IDS, 2).data
+        np.testing.assert_allclose(out[0], [3.0, 2.0])
+        np.testing.assert_allclose(out[1], [15.0, 20.0])
+
+    def test_max(self, rng):
+        pool = create_pooling_op("max", 2, rng)
+        out = pool(Tensor(DATA), GRAPH_IDS, 2).data
+        np.testing.assert_allclose(out[0], [5.0, 4.0])
+
+    def test_sum(self, rng):
+        pool = create_pooling_op("sum", 2, rng)
+        out = pool(Tensor(DATA), GRAPH_IDS, 2).data
+        np.testing.assert_allclose(out[1], [30.0, 40.0])
+
+    @pytest.mark.parametrize("name", sorted(POOLING_OPS))
+    def test_output_shape(self, name, rng):
+        pool = create_pooling_op(name, 2, rng)
+        out = pool(Tensor(DATA), GRAPH_IDS, 2)
+        assert out.shape == (2, 2)
+
+    @pytest.mark.parametrize("name", sorted(POOLING_OPS))
+    def test_gradients_flow_to_input(self, name, rng):
+        pool = create_pooling_op(name, 2, rng)
+        x = Tensor(DATA.copy(), requires_grad=True)
+        pool(x, GRAPH_IDS, 2).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+    def test_attention_weights_are_convex(self, rng):
+        """Attention pooling output lies in tanh-value convex hull."""
+        pool = create_pooling_op("attention", 2, rng)
+        out = pool(Tensor(DATA), GRAPH_IDS, 2).data
+        assert (np.abs(out) <= 1.0 + 1e-9).all()
+
+    def test_permutation_invariance(self, rng):
+        """Pooling must not depend on node order within a graph."""
+        for name in POOLING_OPS:
+            pool = create_pooling_op(name, 2, np.random.default_rng(3))
+            out1 = pool(Tensor(DATA), GRAPH_IDS, 2).data
+            perm = np.array([2, 0, 1, 4, 3])
+            out2 = pool(Tensor(DATA[perm]), GRAPH_IDS, 2).data
+            np.testing.assert_allclose(out1, out2, atol=1e-10, err_msg=name)

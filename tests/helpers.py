@@ -1,0 +1,42 @@
+"""Test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``value``."""
+    value = np.array(value, dtype=np.float64)  # copy: we perturb in place
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(value)
+        flat[i] = original - eps
+        minus = fn(value)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, value: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4):
+    """Assert autograd gradient of ``build_loss`` matches finite differences.
+
+    ``build_loss(tensor) -> scalar Tensor``; called once with a
+    requires-grad tensor for the analytic gradient and repeatedly with
+    raw arrays for the numeric one.
+    """
+    value = np.array(value, dtype=np.float64)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+    assert analytic is not None, "no gradient reached the input"
+
+    numeric = numeric_gradient(lambda v: build_loss(Tensor(v.copy())).item(), value)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,81 @@
+"""End-to-end pipelines exercising the public API as a user would."""
+
+import numpy as np
+
+from repro.core import (
+    SaneSearcher,
+    SearchConfig,
+    SearchSpace,
+    retrain,
+)
+from repro.experiments.results import ExperimentTable, format_scores, render_table
+from repro.graph import load_dataset
+from repro.train import TrainConfig
+
+
+class TestSearchRetrainPipeline:
+    def test_quickstart_flow(self):
+        """The README quickstart: load → search → derive → retrain."""
+        graph = load_dataset("cora", seed=0, scale=0.7)
+        space = SearchSpace(num_layers=2)
+        searcher = SaneSearcher(
+            space, graph, SearchConfig(epochs=6, hidden_dim=16), seed=0
+        )
+        result = searcher.search()
+        assert space.contains(result.architecture)
+
+        trained = retrain(
+            result.architecture,
+            graph,
+            seed=0,
+            hidden_dim=16,
+            train_config=TrainConfig(epochs=60, patience=20),
+        )
+        chance = 1.0 / graph.num_classes
+        assert trained.test_score > chance + 0.2
+
+    def test_search_beats_trivial_on_tiny_budget(self):
+        """Even a short search yields a trainable architecture on PPI."""
+        data = load_dataset("ppi", seed=0, scale=1.0)
+        space = SearchSpace(num_layers=2, node_ops=("gcn", "sage-mean", "gat"))
+        searcher = SaneSearcher(
+            space, data, SearchConfig(epochs=4, hidden_dim=16, dropout=0.1), seed=0
+        )
+        result = searcher.search()
+        trained = retrain(
+            result.architecture,
+            data,
+            seed=0,
+            hidden_dim=32,
+            dropout=0.1,
+            activation="elu",
+            train_config=TrainConfig(epochs=120, patience=40, lr=0.01),
+        )
+        assert trained.test_score > 0.3  # well above the all-negative 0.0
+
+
+class TestResultRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+
+    def test_format_scores(self):
+        assert format_scores([1.0, 1.0]) == "1.0000 (0.0000)"
+
+    def test_experiment_table_helpers(self):
+        table = ExperimentTable(
+            title="t",
+            headers=["method", "ds"],
+            cells={"a": {"ds": [0.5, 0.7]}, "b": {"ds": [0.9]}},
+        )
+        assert table.mean("a", "ds") == 0.6
+        assert table.best_row("ds") == "b"
+        assert "0.9000" in table.render()
+
+    def test_experiment_table_missing_cell_renders_dash(self):
+        table = ExperimentTable(
+            title="t", headers=["method", "x", "y"], cells={"a": {"x": [1.0]}}
+        )
+        assert "-" in table.render()

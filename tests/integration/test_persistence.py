@@ -1,0 +1,43 @@
+"""Experiment-result persistence."""
+
+import pytest
+
+from repro.experiments.persistence import (
+    load_records,
+    load_table,
+    save_record,
+    save_table,
+)
+from repro.experiments.results import ExperimentTable
+
+
+class TestTableRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        table = ExperimentTable(
+            title="Table VI",
+            headers=["method", "cora"],
+            cells={"gcn": {"cora": [0.88, 0.9]}, "sane": {"cora": [0.91]}},
+        )
+        path = tmp_path / "table6.json"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.title == table.title
+        assert loaded.cells == table.cells
+        assert loaded.render() == table.render()
+
+
+class TestRecordLog:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        save_record({"experiment": "table7", "scale": "smoke", "sane": 1.2}, path)
+        save_record({"experiment": "table7", "scale": "smoke", "sane": 1.3}, path)
+        records = load_records(path)
+        assert len(records) == 2
+        assert records[1]["sane"] == 1.3
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_records(tmp_path / "nope.jsonl") == []
+
+    def test_rejects_non_dict(self, tmp_path):
+        with pytest.raises(TypeError, match="dict"):
+            save_record(["not", "a", "dict"], tmp_path / "x.jsonl")

@@ -1,0 +1,80 @@
+"""Experiment runner helpers (protocols of runners_doc.md)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES
+from repro.experiments.runners import (
+    NAS_METHODS,
+    run_human_baseline,
+    run_nas_method,
+    run_sane,
+    task_settings,
+)
+from repro.graph import load_dataset
+
+SMOKE = SCALES["smoke"]
+
+
+class TestTaskSettings:
+    def test_transductive_defaults(self):
+        graph = load_dataset("cora", scale=0.3)
+        settings = task_settings(graph, SMOKE)
+        assert settings.activation == "relu"
+        assert settings.jk_mode == "concat"
+        assert settings.dropout == 0.5
+
+    def test_inductive_defaults(self):
+        data = load_dataset("ppi", scale=0.5)
+        settings = task_settings(data, SMOKE)
+        assert settings.activation == "elu"
+        assert settings.jk_mode == "lstm"
+        assert settings.train_config.lr == pytest.approx(1e-2)
+
+
+class TestHumanBaselineRunner:
+    def test_repeats_scores(self):
+        graph = load_dataset("cora", scale=0.5)
+        scores = run_human_baseline("gcn", graph, SMOKE, seed=0)
+        assert len(scores) == SMOKE.repeats
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_lgcn_branch(self):
+        graph = load_dataset("cora", scale=0.5)
+        scores = run_human_baseline("lgcn", graph, SMOKE, seed=0)
+        assert len(scores) == SMOKE.repeats
+
+    def test_geniepath_uses_tanh_override(self):
+        """The override exists so GeniePath trains; it must not crash."""
+        graph = load_dataset("cora", scale=0.5)
+        scores = run_human_baseline("geniepath", graph, SMOKE, seed=0)
+        assert len(scores) == SMOKE.repeats
+
+
+class TestSaneRunner:
+    def test_selects_best_by_validation(self):
+        graph = load_dataset("cora", scale=0.5)
+        run = run_sane(graph, SMOKE, seed=0)
+        assert len(run.test_scores) == SMOKE.repeats
+        assert len(run.search_results) == SMOKE.search_seeds
+        assert run.search_time > 0
+
+    def test_epsilon_forwarded(self):
+        graph = load_dataset("cora", scale=0.5)
+        run = run_sane(graph, SMOKE, seed=0, epsilon=1.0)
+        # epsilon=1 freezes alphas; the run must still derive something.
+        assert run.architecture is not None
+
+
+class TestNasRunner:
+    def test_unknown_method_rejected(self):
+        graph = load_dataset("cora", scale=0.5)
+        with pytest.raises(ValueError, match="unknown NAS method"):
+            run_nas_method("simulated-annealing", graph, SMOKE)
+
+    @pytest.mark.parametrize("method", NAS_METHODS)
+    def test_all_methods_run(self, method):
+        graph = load_dataset("cora", scale=0.5)
+        run = run_nas_method(method, graph, SMOKE, seed=0)
+        assert len(run.test_scores) == SMOKE.repeats
+        assert run.outcome.search_time > 0

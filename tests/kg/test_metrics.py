@@ -1,0 +1,69 @@
+"""Hits@k and alignment evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.kg.metrics import evaluate_alignment, hits_at_k, pairwise_l1
+
+
+class TestPairwiseL1:
+    def test_hand_case(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(pairwise_l1(a, b), [[1.0], [1.0]])
+
+    def test_zero_diagonal_for_identical(self):
+        a = np.random.default_rng(0).normal(size=(4, 3))
+        d = pairwise_l1(a, a)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+
+class TestHitsAtK:
+    def test_perfect_alignment(self):
+        d = np.array([[0.0, 5.0], [5.0, 0.0]])
+        hits = hits_at_k(d, (1, 2))
+        assert hits[1] == 1.0
+        assert hits[2] == 1.0
+
+    def test_worst_alignment(self):
+        d = np.array([[5.0, 0.0], [0.0, 5.0]])
+        hits = hits_at_k(d, (1, 2))
+        assert hits[1] == 0.0
+        assert hits[2] == 1.0  # everything is within top-2 of 2
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        d = rng.random((20, 20))
+        hits = hits_at_k(d, (1, 5, 10, 20))
+        values = [hits[k] for k in (1, 5, 10, 20)]
+        assert values == sorted(values)
+        assert hits[20] == 1.0
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError, match="square"):
+            hits_at_k(np.zeros((2, 3)), (1,))
+
+    def test_partial_case(self):
+        # Row 0 gold at rank 1 (one closer), row 1 gold is the closest.
+        d = np.array([[1.0, 0.5], [9.0, 0.0]])
+        hits = hits_at_k(d, (1,))
+        assert hits[1] == 0.5
+
+
+class TestEvaluateAlignment:
+    def test_both_directions(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(10, 4))
+        links = np.stack([np.arange(10), np.arange(10)], axis=1)
+        result = evaluate_alignment(z, z.copy(), links, ks=(1, 5))
+        assert result["zh->en"][1] == 1.0
+        assert result["en->zh"][1] == 1.0
+
+    def test_uses_link_indices(self):
+        rng = np.random.default_rng(1)
+        z1 = rng.normal(size=(20, 4))
+        # kg2 embedding j = kg1 embedding (j - 3): gold links offset by 3.
+        z2 = np.roll(z1, 3, axis=0)
+        links = np.stack([np.arange(5), (np.arange(5) + 3) % 20], axis=1)
+        result = evaluate_alignment(z1, z2, links, ks=(1,))
+        assert result["zh->en"][1] == 1.0

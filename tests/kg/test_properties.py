@@ -1,0 +1,63 @@
+"""Hypothesis property tests for alignment metrics and encodings."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kg.metrics import hits_at_k, pairwise_l1
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def embedding_pairs():
+    return st.integers(2, 12).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, (n, 4), elements=finite),
+            arrays(np.float64, (n, 4), elements=finite),
+        )
+    )
+
+
+@given(embedding_pairs())
+@settings(max_examples=30, deadline=None)
+def test_pairwise_l1_nonnegative_and_symmetric_on_swap(pair):
+    a, b = pair
+    d = pairwise_l1(a, b)
+    assert (d >= 0).all()
+    np.testing.assert_allclose(d, pairwise_l1(b, a).T)
+
+
+@given(embedding_pairs())
+@settings(max_examples=30, deadline=None)
+def test_hits_monotone_in_k(pair):
+    a, b = pair
+    d = pairwise_l1(a, b)
+    n = d.shape[0]
+    ks = (1, max(1, n // 2), n)
+    hits = hits_at_k(d, ks)
+    values = [hits[k] for k in ks]
+    assert values == sorted(values)
+    assert hits[n] == 1.0
+
+
+@given(st.integers(2, 10))
+@settings(max_examples=20, deadline=None)
+def test_identical_embeddings_give_perfect_hits1(n):
+    rng = np.random.default_rng(n)
+    z = rng.normal(size=(n, 3))
+    # Distinct rows (almost surely) → diagonal strictly smallest.
+    d = pairwise_l1(z, z)
+    assert hits_at_k(d, (1,))[1] == 1.0
+
+
+@given(st.integers(2, 8), st.integers(0, 6))
+@settings(max_examples=20, deadline=None)
+def test_hits_invariant_to_common_permutation(n, seed):
+    rng = np.random.default_rng(seed)
+    z1 = rng.normal(size=(n, 4))
+    z2 = z1 + 0.01 * rng.normal(size=(n, 4))
+    d = pairwise_l1(z1, z2)
+    perm = rng.permutation(n)
+    d_perm = pairwise_l1(z1[perm], z2[perm])
+    assert hits_at_k(d, (1,)) == hits_at_k(d_perm, (1,))

@@ -1,0 +1,95 @@
+"""Decision-space encodings for the trial-and-error searchers."""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import Architecture, SearchSpace
+from repro.nas.encoding import (
+    Decision,
+    DecisionSpace,
+    graphnas_decision_space,
+    mlp_decision_space,
+    sane_decision_space,
+)
+
+
+class TestDecision:
+    def test_rejects_empty_choices(self):
+        with pytest.raises(ValueError, match="no choices"):
+            Decision("x", ())
+
+
+class TestDecisionSpace:
+    def space(self):
+        decisions = [Decision("a", (1, 2)), Decision("b", ("x", "y", "z"))]
+        return DecisionSpace(decisions, decoder=lambda d: d, name="toy")
+
+    def test_len_and_size(self):
+        space = self.space()
+        assert len(space) == 2
+        assert space.size() == 6
+        assert space.num_choices(1) == 3
+
+    def test_sample_in_range(self):
+        space = self.space()
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            indices = space.sample_indices(rng)
+            assert all(0 <= i < space.num_choices(pos) for pos, i in enumerate(indices))
+
+    def test_decode(self):
+        assert self.space().decode((1, 2)) == {"a": 2, "b": "z"}
+
+    def test_decode_length_checked(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            self.space().decode((1,))
+
+    def test_describe(self):
+        assert self.space().describe((0, 1)) == "a=1, b=y"
+
+    def test_requires_decisions(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DecisionSpace([], decoder=lambda d: d, name="empty")
+
+
+class TestSaneEncoding:
+    def test_size_matches_search_space(self):
+        space = SearchSpace(num_layers=3)
+        assert sane_decision_space(space).size() == space.size() == 31_944
+
+    def test_decodes_to_architecture(self):
+        space = SearchSpace(num_layers=2)
+        dspace = sane_decision_space(space)
+        arch = dspace.decode(dspace.sample_indices(np.random.default_rng(0)))
+        assert isinstance(arch, Architecture)
+        assert space.contains(arch)
+
+    def test_decision_count(self):
+        assert len(sane_decision_space(SearchSpace(num_layers=3))) == 7  # 2K+1
+
+
+class TestGraphNASEncoding:
+    def test_much_larger_than_sane(self):
+        """Section III-C: the mixed space is orders of magnitude bigger."""
+        graphnas = graphnas_decision_space(3).size()
+        sane = sane_decision_space(SearchSpace(num_layers=3)).size()
+        assert graphnas > 1000 * sane
+
+    def test_decodes_to_spec(self):
+        space = graphnas_decision_space(2)
+        spec = space.decode(space.sample_indices(np.random.default_rng(0)))
+        assert set(spec) == {"node_aggregators", "activations", "heads", "hidden_dims"}
+        assert len(spec["node_aggregators"]) == 2
+
+
+class TestMLPEncoding:
+    def test_size(self):
+        assert mlp_decision_space(3).size() == 12**3
+
+    def test_decodes_to_layer_specs(self):
+        space = mlp_decision_space(2)
+        spec = space.decode(space.sample_indices(np.random.default_rng(0)))
+        assert len(spec["mlp_layers"]) == 2
+        width, depth = spec["mlp_layers"][0]
+        assert width in (8, 16, 32, 64)
+        assert depth in (1, 2, 3)

@@ -1,0 +1,75 @@
+"""Aging-evolution NAS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import SearchSpace
+from repro.nas.encoding import sane_decision_space
+from repro.nas.evaluation import ArchitectureEvaluator
+from repro.nas.evolution import evolutionary_search, mutate
+from repro.train.trainer import TrainConfig
+
+SPACE = sane_decision_space(
+    SearchSpace(num_layers=2, node_ops=("gcn", "gat"), layer_ops=("concat",))
+)
+
+
+class TestMutate:
+    def test_changes_exactly_one_position(self):
+        rng = np.random.default_rng(0)
+        parent = SPACE.sample_indices(rng)
+        for __ in range(20):
+            child = mutate(parent, SPACE, rng)
+            diffs = sum(a != b for a, b in zip(parent, child))
+            assert diffs == 1
+
+    def test_child_stays_in_range(self):
+        rng = np.random.default_rng(1)
+        parent = SPACE.sample_indices(rng)
+        for __ in range(20):
+            child = mutate(parent, SPACE, rng)
+            for position, index in enumerate(child):
+                assert 0 <= index < SPACE.num_choices(position)
+
+
+class TestEvolutionarySearch:
+    def make_evaluator(self, data):
+        return ArchitectureEvaluator(
+            SPACE, data, train_config=TrainConfig(epochs=6, patience=6),
+            hidden_dim=8, seed=0,
+        )
+
+    def test_budget_respected(self, tiny_graph):
+        outcome = evolutionary_search(
+            self.make_evaluator(tiny_graph), 6, seed=0, population_size=3
+        )
+        assert len(outcome.records) == 6
+
+    def test_budget_below_population(self, tiny_graph):
+        outcome = evolutionary_search(
+            self.make_evaluator(tiny_graph), 2, seed=0, population_size=8
+        )
+        assert len(outcome.records) == 2
+
+    def test_population_size_validated(self, tiny_graph):
+        with pytest.raises(ValueError, match="population_size"):
+            evolutionary_search(self.make_evaluator(tiny_graph), 4, population_size=1)
+
+    def test_children_are_mutations_of_population(self, tiny_graph):
+        outcome = evolutionary_search(
+            self.make_evaluator(tiny_graph), 6, seed=0,
+            population_size=3, tournament_size=2,
+        )
+        seeds = [r.indices for r in outcome.records[:3]]
+        alive = list(seeds)
+        for child in outcome.records[3:]:
+            assert any(
+                sum(a != b for a, b in zip(parent, child.indices)) == 1
+                for parent in alive
+            )
+            alive.append(child.indices)
+            alive.pop(0)
+
+    def test_best_is_max_val(self, tiny_graph):
+        outcome = evolutionary_search(self.make_evaluator(tiny_graph), 5, seed=0)
+        assert outcome.best.val_score == max(r.val_score for r in outcome.records)

@@ -1,0 +1,68 @@
+"""Hyper-parameter fine-tuning (hyperopt stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import Architecture
+from repro.nas.encoding import Decision, DecisionSpace
+from repro.nas.tuner import hyperparameter_space, tune, tune_architecture
+from repro.train.trainer import TrainConfig
+
+
+class TestHyperparameterSpace:
+    def test_contains_table12_dimensions(self):
+        space = hyperparameter_space()
+        names = {d.name for d in space.decisions}
+        assert names == {
+            "hidden_dim",
+            "heads",
+            "lr",
+            "weight_decay",
+            "dropout",
+            "activation",
+        }
+
+    def test_custom_choices(self):
+        space = hyperparameter_space(hidden_choices=(8,), head_choices=(1,))
+        decoded = space.decode(tuple(0 for __ in space.decisions))
+        assert decoded["hidden_dim"] == 8
+
+
+class TestTune:
+    def test_finds_maximum_of_toy_objective(self):
+        space = DecisionSpace(
+            [Decision("x", (0.0, 1.0, 2.0, 3.0))],
+            decoder=lambda d: d,
+            name="toy",
+        )
+        result = tune(lambda a: -((a["x"] - 2.0) ** 2), space, num_trials=12, seed=0)
+        assert result.best_assignment["x"] == 2.0
+        assert len(result.trials) == 12
+
+    def test_requires_positive_trials(self):
+        space = DecisionSpace([Decision("x", (1,))], decoder=lambda d: d, name="t")
+        with pytest.raises(ValueError, match="num_trials"):
+            tune(lambda a: 0.0, space, num_trials=0)
+
+    def test_best_score_is_max_of_trials(self):
+        space = DecisionSpace(
+            [Decision("x", (1, 2, 3))], decoder=lambda d: d, name="t"
+        )
+        result = tune(lambda a: float(a["x"]), space, num_trials=6, seed=1)
+        assert result.best_score == max(score for __, score in result.trials)
+
+
+class TestTuneArchitecture:
+    def test_runs_on_tiny_graph(self, tiny_graph):
+        arch = Architecture(("gcn", "gcn"), ("identity", "identity"), "concat")
+        space = hyperparameter_space(hidden_choices=(8,), head_choices=(1,))
+        result = tune_architecture(
+            arch,
+            tiny_graph,
+            num_trials=2,
+            seed=0,
+            train_config=TrainConfig(epochs=8, patience=8),
+            space=space,
+        )
+        assert 0.0 <= result.best_score <= 1.0
+        assert result.best_assignment["hidden_dim"] == 8

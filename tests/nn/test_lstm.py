@@ -1,0 +1,74 @@
+"""LSTM cell and the BiLSTM-attention layer aggregator backbone."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.lstm import BiLSTMAttention, LSTMCell
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell(Tensor(np.ones((3, 4))), cell.init_state(3))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_state_evolves(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        state = cell.init_state(2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        h1, c1 = cell(x, state)
+        h2, c2 = cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(3, 5, rng)
+        x = Tensor(100 * np.ones((2, 3)))
+        h, __ = cell(x, cell.init_state(2))
+        assert (np.abs(h.data) <= 1.0 + 1e-9).all()
+
+    def test_forget_gate_bias_initialised_open(self, rng):
+        cell = LSTMCell(3, 5, rng)
+        np.testing.assert_allclose(cell.bias.data[5:10], 1.0)
+
+    def test_gradients_reach_weights(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        h, c = cell(Tensor(np.ones((2, 3))), cell.init_state(2))
+        (h.sum() + c.sum()).backward()
+        assert cell.weight.grad is not None
+        assert np.abs(cell.weight.grad).sum() > 0
+
+
+class TestBiLSTMAttention:
+    def test_output_shape(self, rng):
+        encoder = BiLSTMAttention(8, 6, rng)
+        out = encoder(Tensor(np.random.default_rng(0).normal(size=(10, 3, 8))))
+        assert out.shape == (10, 8)
+
+    def test_rejects_2d_input(self, rng):
+        encoder = BiLSTMAttention(8, 6, rng)
+        with pytest.raises(ValueError, match=r"\(N, K, d\)"):
+            encoder(Tensor(np.ones((10, 8))))
+
+    def test_output_in_convex_hull(self, rng):
+        """Attention over the sequence keeps output within input bounds."""
+        encoder = BiLSTMAttention(4, 3, rng)
+        data = np.random.default_rng(1).normal(size=(6, 3, 4))
+        out = encoder(Tensor(data)).data
+        assert (out <= data.max(axis=1) + 1e-9).all()
+        assert (out >= data.min(axis=1) - 1e-9).all()
+
+    def test_constant_sequence_returns_constant(self, rng):
+        encoder = BiLSTMAttention(4, 3, rng)
+        item = np.random.default_rng(2).normal(size=(5, 1, 4))
+        data = np.repeat(item, 3, axis=1)
+        out = encoder(Tensor(data)).data
+        np.testing.assert_allclose(out, item[:, 0, :], atol=1e-9)
+
+    def test_gradients_flow_to_all_parameters(self, rng):
+        encoder = BiLSTMAttention(4, 3, rng)
+        out = encoder(Tensor(np.random.default_rng(3).normal(size=(5, 2, 4)), requires_grad=True))
+        out.sum().backward()
+        grads = [p.grad for p in encoder.parameters()]
+        assert all(g is not None for g in grads)

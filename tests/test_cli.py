@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "smoke", "stats"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "stats"])
+
+    def test_search_arguments(self):
+        args = build_parser().parse_args(
+            ["--scale", "smoke", "search", "cora", "--layers", "2"]
+        )
+        assert args.dataset == "cora"
+        assert args.layers == 2
+
+    def test_table_numbers_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "99"])
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["--scale", "smoke", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "cora" in out
+
+    def test_baseline(self, capsys):
+        assert main(["--scale", "smoke", "baseline", "gcn", "cora"]) == 0
+        out = capsys.readouterr().out
+        assert "gcn on cora" in out
+
+    def test_search(self, capsys):
+        assert main(["--scale", "smoke", "search", "cora", "--layers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "architecture:" in out
+        assert "test score:" in out
+
+    def test_table4_command(self, capsys):
+        assert main(["--scale", "smoke", "table", "4"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_table6_restricted_datasets(self, capsys):
+        code = main(
+            ["--scale", "smoke", "table", "6", "--datasets", "cora"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cora" in out
+        assert "pubmed" not in out
+
+    def test_figure2_command(self, capsys):
+        code = main(["--scale", "smoke", "figure", "2", "--datasets", "cora"])
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out

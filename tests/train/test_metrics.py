@@ -1,0 +1,63 @@
+"""Accuracy, micro-F1 and aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.train.metrics import accuracy, format_mean_std, mean_std, micro_f1
+
+
+class TestAccuracy:
+    def test_hand_case(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0], [2.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_with_mask(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        labels = np.array([0, 0])
+        mask = np.array([True, False])
+        assert accuracy(logits, labels, mask) == 1.0
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy(np.zeros((2, 2)), np.zeros(2), np.array([False, False]))
+
+
+class TestMicroF1:
+    def test_perfect(self):
+        labels = np.array([[1, 0], [0, 1]])
+        logits = np.where(labels, 5.0, -5.0)
+        assert micro_f1(logits, labels) == 1.0
+
+    def test_all_negative_predictions(self):
+        labels = np.array([[1, 1], [1, 1]])
+        logits = -np.ones((2, 2))
+        assert micro_f1(logits, labels) == 0.0
+
+    def test_no_positives_anywhere(self):
+        assert micro_f1(-np.ones((2, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_hand_computed(self):
+        labels = np.array([[1, 0, 1, 0]])
+        logits = np.array([[1.0, 1.0, -1.0, -1.0]])  # tp=1 fp=1 fn=1
+        assert micro_f1(logits, labels) == pytest.approx(0.5)
+
+    def test_threshold(self):
+        labels = np.array([[1]])
+        logits = np.array([[0.4]])
+        assert micro_f1(logits, labels, threshold=0.5) == 0.0
+        assert micro_f1(logits, labels, threshold=0.0) == 1.0
+
+
+class TestAggregation:
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_std([])
+
+    def test_format(self):
+        assert format_mean_std([0.5, 0.5]) == "0.5000 (0.0000)"

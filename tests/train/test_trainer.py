@@ -1,0 +1,93 @@
+"""Training loops: learning, early stopping, best-state restore."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.models import build_baseline
+from repro.train.trainer import TrainConfig, fit, train_inductive, train_transductive
+
+
+def make_model(data, seed=0, name="gcn", **kwargs):
+    rng = np.random.default_rng(seed)
+    return build_baseline(
+        name, data.num_features, data.num_classes, rng, hidden_dim=8, **kwargs
+    )
+
+
+class TestTransductive:
+    def test_learns_above_chance(self, tiny_graph):
+        model = make_model(tiny_graph)
+        result = train_transductive(model, tiny_graph, TrainConfig(epochs=60, patience=30))
+        assert result.test_score > 1.0 / tiny_graph.num_classes + 0.15
+        assert result.val_score > 0
+
+    def test_history_recorded(self, tiny_graph):
+        model = make_model(tiny_graph)
+        result = train_transductive(model, tiny_graph, TrainConfig(epochs=5, patience=5))
+        assert len(result.history) == 5
+        losses = [l for l, __ in result.history]
+        assert all(np.isfinite(losses))
+
+    def test_early_stopping_cuts_run(self, tiny_graph):
+        model = make_model(tiny_graph)
+        result = train_transductive(
+            model, tiny_graph, TrainConfig(epochs=500, patience=3)
+        )
+        assert len(result.history) < 500
+
+    def test_best_state_restored(self, tiny_graph):
+        """After training, the model scores exactly result.val_score."""
+        from repro.autograd import no_grad
+        from repro.gnn.common import GraphCache
+        from repro.train.metrics import accuracy
+
+        model = make_model(tiny_graph)
+        result = train_transductive(model, tiny_graph, TrainConfig(epochs=30, patience=10))
+        model.eval()
+        with no_grad():
+            logits = model(tiny_graph.features, GraphCache(tiny_graph)).numpy()
+        val = accuracy(logits, tiny_graph.labels, tiny_graph.mask("val"))
+        assert val == pytest.approx(result.val_score)
+
+    def test_train_time_positive(self, tiny_graph):
+        result = train_transductive(
+            make_model(tiny_graph), tiny_graph, TrainConfig(epochs=3, patience=3)
+        )
+        assert result.train_time > 0
+
+
+class TestInductive:
+    def test_runs_and_scores(self, tiny_ppi):
+        model = make_model(tiny_ppi, dropout=0.1)
+        result = train_inductive(model, tiny_ppi, TrainConfig(epochs=25, patience=25, lr=0.01))
+        assert 0.0 <= result.test_score <= 1.0
+        assert len(result.history) <= 25
+
+    def test_loss_decreases(self, tiny_ppi):
+        model = make_model(tiny_ppi, dropout=0.0)
+        result = train_inductive(model, tiny_ppi, TrainConfig(epochs=30, patience=30, lr=0.01))
+        losses = [l for l, __ in result.history]
+        assert losses[-1] < losses[0]
+
+
+class TestFitDispatch:
+    def test_graph_routes_transductive(self, tiny_graph):
+        result = fit(make_model(tiny_graph), tiny_graph, TrainConfig(epochs=2, patience=2))
+        assert result.best_epoch >= 0
+
+    def test_multigraph_routes_inductive(self, tiny_ppi):
+        result = fit(make_model(tiny_ppi), tiny_ppi, TrainConfig(epochs=2, patience=2))
+        assert result.best_epoch >= 0
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="cannot train"):
+            fit(None, [1, 2, 3])
+
+
+class TestTrainConfig:
+    def test_replace_is_functional(self):
+        config = TrainConfig(epochs=10)
+        other = config.replace(epochs=5, lr=0.1)
+        assert config.epochs == 10
+        assert other.epochs == 5
+        assert other.lr == 0.1
