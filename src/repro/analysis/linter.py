@@ -1,0 +1,63 @@
+"""Filesystem driver: discover sources, build rules, lint everything.
+
+:func:`lint_paths` is what ``repro lint`` and the self-check test call:
+it gathers ``.py`` files under the given paths, statically collects the
+op tables once (so :class:`~repro.analysis.genotype.GenotypeRule`
+validates genotype literals against the *declared* search space, not a
+hardcoded copy), runs the full rule set over every file and appends the
+cross-file registry-consistency findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import AnalysisResult, Rule, analyze_source
+from repro.analysis.genotype import (
+    GenotypeRule,
+    OpTables,
+    collect_op_tables,
+    consistency_findings,
+)
+from repro.analysis.rules import CORE_RULES
+
+__all__ = ["discover_files", "default_rules", "lint_paths"]
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of python sources."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"no python source at {path}")
+    return sorted(files)
+
+
+def default_rules(tables: OpTables | None = None) -> list[Rule]:
+    """The full shipped rule set, genotype-aware when tables are given."""
+    rules: list[Rule] = [rule_cls() for rule_cls in CORE_RULES]
+    rules.append(GenotypeRule(tables))
+    return rules
+
+
+def lint_paths(paths: Iterable[str | Path]) -> AnalysisResult:
+    """Lint every python file under ``paths`` with the default rules."""
+    files = discover_files(paths)
+    sources: list[tuple[str, str]] = []
+    for path in files:
+        sources.append((str(path), path.read_text(encoding="utf-8")))
+
+    tables = collect_op_tables(sources)
+    rules = default_rules(tables)
+    result = AnalysisResult()
+    for path, source in sources:
+        result.merge(analyze_source(source, path=path, rules=rules))
+    result.findings.extend(consistency_findings(tables))
+    result.sort()
+    return result

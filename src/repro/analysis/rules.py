@@ -1,0 +1,379 @@
+"""The repo-specific rule set (see README "Static analysis" for the table).
+
+Each rule encodes one invariant the reproduction's correctness rests
+on: tape integrity of :mod:`repro.autograd`, parameter registration in
+:mod:`repro.nn.module`, seeded randomness, the numpy-only substitution
+rule, and the dict-registry dispatch idiom used by the op tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Context, Rule
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "TapeMutationRule",
+    "UnregisteredParameterRule",
+    "GlobalRngRule",
+    "ForbiddenImportRule",
+    "MissingZeroGradRule",
+    "DuplicateRegistryKeyRule",
+    "BareExceptRule",
+    "MutableDefaultArgRule",
+    "CORE_RULES",
+]
+
+_INIT_METHODS = ("__init__", "reset_parameters")
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """Last segment of the called name (``np.random.rand`` -> ``rand``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class TapeMutationRule(Rule):
+    """In-place writes to ``Tensor.data`` bypass the autograd tape.
+
+    The tape records gradients against the array a ``Tensor`` held when
+    the op ran; mutating ``.data`` afterwards silently corrupts every
+    pending backward pass. Writes of the form ``self.<name>.data`` are
+    allowed inside ``__init__``/``reset_parameters`` (no tape exists for
+    a parameter that is still being constructed); everything else —
+    optimiser steps, state restores, virtual DARTS steps — is flagged
+    and must carry an explicit justification comment.
+    """
+
+    rule_id = "tape-mutation"
+    severity = Severity.ERROR
+    description = "in-place write to Tensor.data outside __init__/reset_parameters"
+    node_types = (ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target] if node.target is not None else []
+        for target in targets:
+            yield from self._check_target(target, node, ctx)
+
+    def _check_target(
+        self, target: ast.AST, node: ast.AST, ctx: Context
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(element, node, ctx)
+            return
+        # Strip subscripts: `p.data[1:] = x` writes through `.data` too.
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if not (isinstance(target, ast.Attribute) and target.attr == "data"):
+            return
+        base = target.value
+        # `self.data = ...` is a plain attribute named "data" (dataset
+        # holders use it), not a write through a Tensor.
+        if isinstance(base, ast.Name) and base.id == "self":
+            return
+        function = ctx.current_function
+        in_init = function is not None and function.name in _INIT_METHODS
+        direct_self_attr = (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        )
+        if in_init and direct_self_attr:
+            return
+        if isinstance(base, ast.Subscript):
+            owner = (_dotted_name(base.value) or "<expr>") + "[...]"
+        else:
+            owner = _dotted_name(base) or "<expr>"
+        yield self.finding(
+            node,
+            ctx,
+            f"in-place write to {owner}.data mutates tensor storage behind "
+            "the autograd tape; rebuild the tensor or justify with "
+            "# lint: disable=tape-mutation",
+        )
+
+
+class UnregisteredParameterRule(Rule):
+    """``self.x = Tensor(..., requires_grad=True)`` inside a class.
+
+    ``Module.named_parameters`` only discovers :class:`Parameter`
+    instances, so a gradient-requiring plain ``Tensor`` trains never:
+    the optimiser does not see it and ``zero_grad`` skips it.
+    """
+
+    rule_id = "unregistered-parameter"
+    severity = Severity.ERROR
+    description = "requires_grad Tensor assigned to self without Parameter wrapper"
+    node_types = (ast.Assign,)
+
+    def check(self, node: ast.Assign, ctx: Context) -> Iterator[Finding]:
+        if ctx.current_class is None:
+            return
+        value = node.value
+        if not (isinstance(value, ast.Call) and _call_name(value) in ("Tensor", "as_tensor")):
+            return
+        if not self._requires_grad(value):
+            return
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"self.{target.attr} is a requires_grad Tensor; wrap it in "
+                    "Parameter(...) so Module.parameters() registers it",
+                )
+
+    @staticmethod
+    def _requires_grad(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "requires_grad":
+                return isinstance(keyword.value, ast.Constant) and bool(
+                    keyword.value.value
+                )
+        if len(call.args) >= 2:
+            second = call.args[1]
+            return isinstance(second, ast.Constant) and second.value is True
+        return False
+
+
+class GlobalRngRule(Rule):
+    """Use of the legacy global numpy RNG instead of a seeded Generator.
+
+    Every stochastic component takes an explicit
+    ``np.random.Generator``; the global ``np.random.*`` API is
+    process-wide state that destroys per-seed reproducibility.
+    """
+
+    rule_id = "global-rng"
+    severity = Severity.ERROR
+    description = "np.random.* global-state call instead of a seeded Generator"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    _ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"})
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module in ("numpy.random", "np.random"):
+                for alias in node.names:
+                    if alias.name not in self._ALLOWED:
+                        yield self.finding(
+                            node,
+                            ctx,
+                            f"importing numpy.random.{alias.name} pulls in the "
+                            "global RNG; pass a np.random.Generator instead",
+                        )
+            return
+        dotted = _dotted_name(node.func) if isinstance(node.func, ast.Attribute) else None
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            if parts[2] not in self._ALLOWED:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{dotted}() uses the process-global RNG; thread a seeded "
+                    "np.random.Generator through instead",
+                )
+
+
+class ForbiddenImportRule(Rule):
+    """Torch/PyG/jax imports — the environment is numpy-only.
+
+    DESIGN.md section 2: the reproduction substitutes a tape-based
+    numpy autograd for PyTorch; importing a real framework would either
+    fail in CI or silently fork the computational substrate.
+    """
+
+    rule_id = "forbidden-import"
+    severity = Severity.ERROR
+    description = "import of a framework excluded by the numpy-only substitution"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    _FORBIDDEN = frozenset(
+        {"torch", "torchvision", "torch_geometric", "torch_sparse", "torch_scatter",
+         "jax", "jaxlib", "tensorflow", "dgl"}
+    )
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            names = [node.module] if node.module else []
+        for name in names:
+            top = name.split(".")[0]
+            if top in self._FORBIDDEN:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"import of {name!r} violates the numpy-only substitution "
+                    "rule (DESIGN.md section 2); use repro.autograd instead",
+                )
+
+
+class MissingZeroGradRule(Rule):
+    """``.backward()`` inside a loop whose body never calls ``zero_grad``.
+
+    Gradients accumulate additively into ``Tensor.grad``; a training
+    loop that backpropagates without clearing them sums gradients
+    across iterations. Heuristic (warning severity): only the loop's
+    own body is inspected, so helpers that zero inside a callee are
+    outside its view.
+    """
+
+    rule_id = "missing-zero-grad"
+    severity = Severity.WARNING
+    description = ".backward() in a loop with no zero_grad in the same loop body"
+    node_types = (ast.For, ast.While, ast.AsyncFor)
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        backward_calls: list[ast.Call] = []
+        saw_zero_grad = False
+        for child in self._body_nodes(node):
+            if isinstance(child, ast.Call):
+                name = _call_name(child)
+                if name == "backward":
+                    backward_calls.append(child)
+                elif name == "zero_grad":
+                    saw_zero_grad = True
+        if backward_calls and not saw_zero_grad:
+            yield self.finding(
+                backward_calls[0],
+                ctx,
+                "loop calls .backward() but never zero_grad(); gradients "
+                "accumulate across iterations",
+            )
+
+    @staticmethod
+    def _body_nodes(loop: ast.AST) -> Iterator[ast.AST]:
+        """Walk the loop body without entering nested loops/functions."""
+        stack = list(getattr(loop, "body", []))
+        barrier = (ast.For, ast.While, ast.AsyncFor, ast.FunctionDef,
+                   ast.AsyncFunctionDef, ast.ClassDef)
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, barrier):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+
+class DuplicateRegistryKeyRule(Rule):
+    """Duplicate constant keys in a dict literal.
+
+    The op registries (``NODE_AGGREGATORS``, ``LAYER_AGGREGATORS``,
+    pooling/scheduler tables) are dict literals; a duplicated key
+    silently drops the earlier factory — exactly the failure mode of a
+    copy-pasted registry row.
+    """
+
+    rule_id = "duplicate-registry-key"
+    severity = Severity.ERROR
+    description = "duplicate constant key in a dict literal"
+    node_types = (ast.Dict,)
+
+    def check(self, node: ast.Dict, ctx: Context) -> Iterator[Finding]:
+        seen: dict[object, int] = {}
+        for key in node.keys:
+            if not isinstance(key, ast.Constant):
+                continue
+            try:
+                marker = key.value
+                first = seen.get(marker)
+            except TypeError:  # unhashable constant; cannot collide
+                continue
+            if first is None:
+                seen[marker] = key.lineno
+            else:
+                yield self.finding(
+                    key,
+                    ctx,
+                    f"duplicate dict key {key.value!r} (first defined on line "
+                    f"{first}) silently shadows the earlier entry",
+                )
+
+
+class BareExceptRule(Rule):
+    """``except:`` swallows SystemExit/KeyboardInterrupt and typos alike."""
+
+    rule_id = "bare-except"
+    severity = Severity.ERROR
+    description = "bare except clause"
+    node_types = (ast.ExceptHandler,)
+
+    def check(self, node: ast.ExceptHandler, ctx: Context) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                node,
+                ctx,
+                "bare except hides real failures (including KeyboardInterrupt); "
+                "catch a concrete exception type",
+            )
+
+
+class MutableDefaultArgRule(Rule):
+    """Mutable default argument values shared across calls."""
+
+    rule_id = "mutable-default-arg"
+    severity = Severity.ERROR
+    description = "mutable default argument"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict"})
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if self._is_mutable(default):
+                yield self.finding(
+                    default,
+                    ctx,
+                    "mutable default argument is shared across calls; "
+                    "default to None and build inside the function",
+                )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _call_name(node) in self._MUTABLE_CALLS
+        return False
+
+
+CORE_RULES: tuple[type[Rule], ...] = (
+    TapeMutationRule,
+    UnregisteredParameterRule,
+    GlobalRngRule,
+    ForbiddenImportRule,
+    MissingZeroGradRule,
+    DuplicateRegistryKeyRule,
+    BareExceptRule,
+    MutableDefaultArgRule,
+)

@@ -7,6 +7,7 @@ Commands
 ``baseline``         train a named human baseline on one dataset
 ``table``            regenerate a paper table (6/7/8/9/10)
 ``figure``           regenerate a paper figure (2/3/4a/4b)
+``lint``             static analysis of repo invariants (repro.analysis)
 
 All commands take ``--scale smoke|default|full`` (default: value of
 ``REPRO_SCALE`` or ``default``) and ``--seed``.
@@ -18,6 +19,7 @@ import argparse
 import os
 import sys
 
+from repro.analysis import lint_paths, render_json, render_text
 from repro.experiments import (
     SCALES,
     run_figure2,
@@ -90,12 +92,35 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("number", choices=sorted(_FIGURE_RUNNERS))
     figure.add_argument("--datasets", nargs="*", default=None)
 
+    lint = commands.add_parser(
+        "lint", help="static analysis enforcing autograd/NAS invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+        try:
+            result = lint_paths(paths)
+        except FileNotFoundError as exc:
+            print(f"repro lint: error: {exc}", file=sys.stderr)
+            return 2
+        render = render_json if args.format == "json" else render_text
+        print(render(result))
+        return 1 if result.error_count else 0
+
     scale = SCALES[args.scale]
 
     if args.command == "stats":

@@ -241,7 +241,7 @@ class SaneSearcher:
             for w in weights
         ]
         for w, g in zip(weights, train_grads):
-            w.data = w.data - xi * g
+            w.data = w.data - xi * g  # lint: disable=tape-mutation -- Eq. 8 virtual step; the next loss rebuilds the tape
 
         # Validation gradients at w': both d_alpha and d_w'.
         self.supernet.zero_grad()
@@ -261,7 +261,7 @@ class SaneSearcher:
         eps = 0.01 / max(norm, 1e-8)
 
         for w, original, g in zip(weights, saved, dw):
-            w.data = original + eps * g
+            w.data = original + eps * g  # lint: disable=tape-mutation -- finite-difference probe; tape rebuilt next loss
         self.supernet.zero_grad()
         self._loss("train").backward()
         alpha_plus = [
@@ -270,7 +270,7 @@ class SaneSearcher:
         ]
 
         for w, original, g in zip(weights, saved, dw):
-            w.data = original - eps * g
+            w.data = original - eps * g  # lint: disable=tape-mutation -- finite-difference probe; tape rebuilt next loss
         self.supernet.zero_grad()
         self._loss("train").backward()
         alpha_minus = [
@@ -280,7 +280,7 @@ class SaneSearcher:
 
         # Restore w and install the combined gradient on alpha.
         for w, original in zip(weights, saved):
-            w.data = original
+            w.data = original  # lint: disable=tape-mutation -- restores the saved weights after the probes
         self.supernet.zero_grad()
         for alpha, first, plus, minus in zip(alphas, dalpha, alpha_plus, alpha_minus):
             hessian_term = (plus - minus) / (2.0 * eps)

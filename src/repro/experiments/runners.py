@@ -124,7 +124,7 @@ class SaneRun:
     test_scores: list[float]
     val_scores: list[float]
     search_time: float  # seconds of the (first) search run
-    search_results: list[SearchResult]
+    search_results: list[SearchResult]  # one per search seed
 
 
 def run_sane(
@@ -148,10 +148,14 @@ def run_sane(
     # top-k strongest operations; we probe the top-2 architectures of
     # each supernet (k=1 plus the runner-up) and keep the best by
     # validation — the paper's protocol with a slightly wider net.
-    candidates: list[tuple[float, Architecture, SearchResult]] = []
+    # `search_results` keeps exactly one entry per search seed even
+    # though each seed probes multiple candidate architectures.
+    candidates: list[tuple[float, Architecture]] = []
+    search_results: list[SearchResult] = []
     for search_seed in range(scale.search_seeds):
         searcher = SaneSearcher(space, data, search_config, seed=seed + search_seed)
         result = searcher.search()
+        search_results.append(result)
         probed: set[Architecture] = set()
         for arch in result.supernet.derive_topk(2):
             if arch in probed:
@@ -166,7 +170,7 @@ def run_sane(
                 activation=settings.activation,
                 train_config=settings.train_config,
             )
-            candidates.append((probe.val_score, arch, result))
+            candidates.append((probe.val_score, arch))
     candidates.sort(key=lambda item: -item[0])
     best_arch = candidates[0][1]
 
@@ -187,8 +191,8 @@ def run_sane(
         architecture=best_arch,
         test_scores=test_scores,
         val_scores=val_scores,
-        search_time=candidates[0][2].search_time,
-        search_results=[item[2] for item in candidates],
+        search_time=search_results[0].search_time,
+        search_results=search_results,
     )
 
 

@@ -190,7 +190,7 @@ class ArchitectureEvaluator:
         for name, key in self._shared_keys(model, indices):
             stored = self._bank.get(key)
             if stored is not None and stored.shape == params[name].data.shape:
-                params[name].data = stored.copy()
+                params[name].data = stored.copy()  # lint: disable=tape-mutation -- weight-sharing bank restore before the candidate trains
 
     def _store_shared(self, model: Module, indices: tuple[int, ...]) -> None:
         params = dict(model.named_parameters())

@@ -96,7 +96,7 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{value.shape} vs {param.data.shape}"
                 )
-            param.data = value.copy()
+            param.data = value.copy()  # lint: disable=tape-mutation -- state restore runs between training steps, no live tape
 
     # ------------------------------------------------------------------
     # call protocol

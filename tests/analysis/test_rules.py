@@ -1,0 +1,320 @@
+"""Per-rule fixtures: one violating and one clean snippet each, plus
+suppression-comment behavior and the reporters."""
+
+import json
+import textwrap
+
+from repro.analysis import (
+    Severity,
+    analyze_source,
+    default_rules,
+    render_json,
+    render_text,
+)
+
+
+def run(source: str):
+    return analyze_source(
+        textwrap.dedent(source), path="snippet.py", rules=default_rules()
+    )
+
+
+def rule_ids(result) -> list[str]:
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestTapeMutation:
+    def test_flags_data_write_outside_init(self):
+        result = run(
+            """
+            def sgd_step(param, lr):
+                param.data = param.data - lr * param.grad
+            """
+        )
+        assert rule_ids(result) == ["tape-mutation"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_flags_subscript_write(self):
+        result = run(
+            """
+            def clamp(param):
+                param.data[0] = 0.0
+            """
+        )
+        assert rule_ids(result) == ["tape-mutation"]
+
+    def test_allows_direct_attr_in_init(self):
+        result = run(
+            """
+            class Layer:
+                def __init__(self):
+                    self.weight = Parameter(zeros(3))
+                    self.weight.data[0] = 1.0
+
+                def reset_parameters(self):
+                    self.weight.data = zeros(3)
+            """
+        )
+        assert rule_ids(result) == []
+
+    def test_flags_submodule_write_even_in_init(self):
+        result = run(
+            """
+            class Layer:
+                def __init__(self):
+                    self.cell.bias.data[0] = 1.0
+            """
+        )
+        assert rule_ids(result) == ["tape-mutation"]
+
+    def test_plain_self_data_attribute_is_fine(self):
+        result = run(
+            """
+            class Holder:
+                def bind(self, data):
+                    self.data = data
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestUnregisteredParameter:
+    def test_flags_requires_grad_tensor_on_self(self):
+        result = run(
+            """
+            class Layer:
+                def __init__(self, x):
+                    self.w = Tensor(x, requires_grad=True)
+            """
+        )
+        assert rule_ids(result) == ["unregistered-parameter"]
+
+    def test_clean_parameter_and_module_level_tensor(self):
+        result = run(
+            """
+            CONSTANT = Tensor(x, requires_grad=True)
+
+            class Layer:
+                def __init__(self, x):
+                    self.w = Parameter(x)
+                    self.buffer = Tensor(x)
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestGlobalRng:
+    def test_flags_global_calls(self):
+        result = run(
+            """
+            import numpy as np
+
+            def sample():
+                np.random.seed(0)
+                return np.random.rand(3)
+            """
+        )
+        assert rule_ids(result) == ["global-rng", "global-rng"]
+
+    def test_flags_global_import(self):
+        result = run("from numpy.random import shuffle\n")
+        assert rule_ids(result) == ["global-rng"]
+
+    def test_allows_seeded_generator(self):
+        result = run(
+            """
+            import numpy as np
+            from numpy.random import default_rng
+
+            def sample(rng: np.random.Generator):
+                local = np.random.default_rng(0)
+                return rng.normal() + local.integers(10)
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestForbiddenImport:
+    def test_flags_torch_and_jax(self):
+        result = run(
+            """
+            import torch
+            from torch_geometric.nn import GCNConv
+            import jax.numpy as jnp
+            """
+        )
+        assert rule_ids(result) == ["forbidden-import"] * 3
+
+    def test_allows_numpy_scipy(self):
+        result = run(
+            """
+            import numpy as np
+            import scipy.sparse
+            import networkx as nx
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestMissingZeroGrad:
+    def test_flags_loop_without_zero_grad(self):
+        result = run(
+            """
+            def fit(model, optimizer, batches):
+                for batch in batches:
+                    loss = model(batch)
+                    loss.backward()
+                    optimizer.step()
+            """
+        )
+        assert rule_ids(result) == ["missing-zero-grad"]
+        assert result.findings[0].severity is Severity.WARNING
+        assert result.error_count == 0
+
+    def test_clean_loop_with_zero_grad(self):
+        result = run(
+            """
+            def fit(model, optimizer, batches):
+                for batch in batches:
+                    optimizer.zero_grad()
+                    loss = model(batch)
+                    loss.backward()
+                    optimizer.step()
+            """
+        )
+        assert rule_ids(result) == []
+
+    def test_backward_outside_loop_not_flagged(self):
+        result = run(
+            """
+            def one_step(model, x):
+                loss = model(x)
+                loss.backward()
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestDuplicateRegistryKey:
+    def test_flags_duplicate_key(self):
+        result = run(
+            """
+            OPS = {"gcn": 1, "gat": 2, "gcn": 3}
+            """
+        )
+        assert rule_ids(result) == ["duplicate-registry-key"]
+        assert "gcn" in result.findings[0].message
+
+    def test_clean_registry(self):
+        result = run(
+            """
+            OPS = {"gcn": 1, "gat": 2, **extras}
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        result = run(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """
+        )
+        assert rule_ids(result) == ["bare-except"]
+
+    def test_clean_typed_except(self):
+        result = run(
+            """
+            try:
+                risky()
+            except (ValueError, KeyError):
+                pass
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestMutableDefaultArg:
+    def test_flags_list_dict_and_call_defaults(self):
+        result = run(
+            """
+            def f(x=[], y={}, z=dict()):
+                return x, y, z
+            """
+        )
+        assert rule_ids(result) == ["mutable-default-arg"] * 3
+
+    def test_clean_none_and_tuple_defaults(self):
+        result = run(
+            """
+            def f(x=None, y=(), z="name"):
+                return x, y, z
+            """
+        )
+        assert rule_ids(result) == []
+
+
+class TestSuppression:
+    def test_inline_disable_moves_finding_to_suppressed(self):
+        result = run(
+            """
+            def sgd_step(param, lr):
+                param.data = param.data - lr  # lint: disable=tape-mutation -- optimiser
+            """
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["tape-mutation"]
+
+    def test_disable_other_rule_does_not_suppress(self):
+        result = run(
+            """
+            def sgd_step(param, lr):
+                param.data = param.data - lr  # lint: disable=bare-except
+            """
+        )
+        assert rule_ids(result) == ["tape-mutation"]
+
+    def test_disable_all_and_comma_list(self):
+        result = run(
+            """
+            import torch  # lint: disable=all
+            import jax  # lint: disable=forbidden-import, global-rng
+            """
+        )
+        assert result.findings == []
+        assert len(result.suppressed) == 2
+
+    def test_suppression_only_applies_to_its_line(self):
+        result = run(
+            """
+            import torch  # lint: disable=forbidden-import
+            import jax
+            """
+        )
+        assert rule_ids(result) == ["forbidden-import"]
+        assert result.findings[0].line == 3
+
+
+class TestEngineAndReporters:
+    def test_syntax_error_is_reported_not_raised(self):
+        result = run("def broken(:\n")
+        assert rule_ids(result) == ["syntax-error"]
+        assert result.error_count == 1
+
+    def test_render_text_lists_findings_and_summary(self):
+        result = run("import torch\n")
+        text = render_text(result)
+        assert "snippet.py:1:0: error [forbidden-import]" in text
+        assert "1 error(s)" in text
+
+    def test_render_json_round_trips(self):
+        result = run("import torch  # lint: disable=forbidden-import\n")
+        payload = json.loads(render_json(result))
+        assert payload["files"] == 1
+        assert payload["errors"] == 0
+        assert payload["findings"] == []
+        assert payload["suppressed"][0]["rule"] == "forbidden-import"

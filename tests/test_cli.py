@@ -63,3 +63,41 @@ class TestCommands:
         code = main(["--scale", "smoke", "figure", "2", "--datasets", "cora"])
         assert code == 0
         assert "Figure 2" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_parser_accepts_paths_and_format(self):
+        args = build_parser().parse_args(["lint", "src/repro", "--format", "json"])
+        assert args.command == "lint"
+        assert args.paths == ["src/repro"]
+        assert args.format == "json"
+
+    def test_default_target_is_the_package_and_it_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_format_on_clean_tree(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["findings"] == []
+
+    def test_error_findings_set_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import torch\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "forbidden-import" in out
+
+    def test_warnings_do_not_fail(self, tmp_path, capsys):
+        warn_only = tmp_path / "loop.py"
+        warn_only.write_text(
+            "def fit(model, batches):\n"
+            "    for batch in batches:\n"
+            "        model(batch).backward()\n"
+        )
+        assert main(["lint", str(warn_only)]) == 0
+        assert "missing-zero-grad" in capsys.readouterr().out
