@@ -8,16 +8,24 @@ paper (scaled to our candidate budget).
 
 from repro.experiments import run_figure3
 
-from common import bench_scale, show
+from common import bench_scale, show, tracked_run
 
 DATASETS = ("cora", "citeseer", "pubmed", "ppi")
 
 
 def test_figure3_efficiency_trajectories(benchmark):
     scale = bench_scale()
-    result = benchmark.pedantic(
-        lambda: run_figure3(scale, datasets=DATASETS), rounds=1, iterations=1
-    )
+    with tracked_run("figure3_efficiency") as run:
+        result = benchmark.pedantic(
+            lambda: run_figure3(scale, datasets=DATASETS), rounds=1, iterations=1
+        )
+        for dataset in DATASETS:
+            for method, score in result.final_scores(dataset).items():
+                run.metrics.gauge(f"final_score.{method}.{dataset}").set(score)
+            run.extra.setdefault("end_time_s", {})[dataset] = {
+                method: traj[-1][0]
+                for method, traj in result.trajectories[dataset].items()
+            }
     show("Figure 3 — score vs search time", result.render())
 
     for dataset in DATASETS:

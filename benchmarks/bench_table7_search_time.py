@@ -8,16 +8,22 @@ scales with the candidate budget, so we assert a conservative factor).
 
 from repro.experiments import run_table7
 
-from common import bench_scale, show
+from common import bench_scale, show, tracked_run
 
 DATASETS = ("cora", "citeseer", "pubmed", "ppi")
 
 
 def test_table7_search_time(benchmark):
     scale = bench_scale()
-    result = benchmark.pedantic(
-        lambda: run_table7(scale, datasets=DATASETS), rounds=1, iterations=1
-    )
+    with tracked_run("table7_search_time") as run:
+        result = benchmark.pedantic(
+            lambda: run_table7(scale, datasets=DATASETS), rounds=1, iterations=1
+        )
+        for method, times in result.times.items():
+            for dataset, seconds in times.items():
+                run.metrics.gauge(f"search_time_s.{method}.{dataset}").set(seconds)
+        for dataset in DATASETS:
+            run.metrics.gauge(f"speedup.{dataset}").set(result.speedup(dataset))
     show("Table VII — search time (seconds)", result.render())
 
     for dataset in DATASETS:

@@ -6,6 +6,12 @@ experiment runs exactly once inside ``benchmark.pedantic(rounds=1)``
 printed for EXPERIMENTS.md. Scale comes from ``REPRO_SCALE``
 (``smoke`` / ``default`` / ``full``; default ``default``).
 
+Benchmarks that want machine-readable output wrap the run in
+:func:`tracked_run`: the library's ``repro.obs`` spans (search/train/
+epoch timings) are collected for the duration and a ``BENCH_<name>.json``
+summary — aggregated spans, a metrics snapshot, free-form extras — is
+written to ``REPRO_BENCH_DIR`` (default: current directory).
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -13,11 +19,17 @@ Run with::
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
+import json
 import os
+from pathlib import Path
+from typing import Iterator
 
 from repro.experiments.config import SCALES, Scale
+from repro.obs import InMemorySink, MetricsRegistry, TRACE_VERSION, aggregate_spans, get_tracer
 
-__all__ = ["bench_scale", "show"]
+__all__ = ["bench_scale", "show", "BenchRun", "tracked_run", "emit_metrics"]
 
 
 def bench_scale() -> Scale:
@@ -30,3 +42,68 @@ def show(title: str, text: str) -> None:
     """Print a regenerated table with a banner (visible with ``-s``)."""
     banner = "=" * 72
     print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+@dataclasses.dataclass
+class BenchRun:
+    """Handle yielded by :func:`tracked_run`.
+
+    ``metrics`` is a fresh registry the benchmark fills with its
+    headline numbers (speedups, scores); ``extra`` takes anything
+    that does not fit the counter/gauge/histogram shapes.
+    """
+
+    name: str
+    sink: InMemorySink
+    metrics: MetricsRegistry
+    extra: dict = dataclasses.field(default_factory=dict)
+
+
+@contextlib.contextmanager
+def tracked_run(name: str) -> Iterator[BenchRun]:
+    """Collect obs spans for one benchmark and emit ``BENCH_<name>.json``.
+
+    Attaches an in-memory sink to the process tracer for the duration
+    of the block, so every span the library opens (search epochs,
+    training loops, candidate evaluations) lands in the summary. Record
+    headline numbers on ``run.metrics`` / ``run.extra`` inside the
+    block; the JSON file is written on exit.
+    """
+    run = BenchRun(name=name, sink=InMemorySink(), metrics=MetricsRegistry())
+    with get_tracer().collect(run.sink):
+        yield run
+    emit_metrics(name, spans=run.sink.spans, metrics=run.metrics, extra=run.extra)
+
+
+def emit_metrics(name: str, spans=(), metrics: MetricsRegistry | None = None,
+                 extra: dict | None = None) -> Path:
+    """Write a ``BENCH_<name>.json`` machine-readable benchmark summary.
+
+    The file carries the per-path span aggregates (count / cumulative /
+    self time), a metrics-registry snapshot and free-form extras, under
+    the same version number as the trace schema.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": name,
+        "version": TRACE_VERSION,
+        "spans": [
+            {
+                "path": agg.path,
+                "count": agg.count,
+                "total_s": agg.total,
+                "self_s": agg.self_time,
+                "mean_s": agg.mean,
+                "min_s": agg.minimum,
+                "max_s": agg.maximum,
+            }
+            for agg in aggregate_spans(spans)
+        ],
+        "metrics": (metrics or MetricsRegistry()).snapshot(),
+        "extra": extra or {},
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

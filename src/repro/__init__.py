@@ -31,6 +31,7 @@ from repro import (
     kg,
     nas,
     nn,
+    obs,
     train,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "train",
     "experiments",
     "graphclf",
+    "obs",
     "__version__",
 ]

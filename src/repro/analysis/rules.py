@@ -23,6 +23,7 @@ __all__ = [
     "DuplicateRegistryKeyRule",
     "BareExceptRule",
     "MutableDefaultArgRule",
+    "AdHocTimingRule",
     "CORE_RULES",
 ]
 
@@ -367,6 +368,58 @@ class MutableDefaultArgRule(Rule):
         return False
 
 
+class AdHocTimingRule(Rule):
+    """Direct wall-clock reads in library code instead of ``repro.obs``.
+
+    ``search_time``/``train_time`` and every trajectory history come
+    from :mod:`repro.obs` spans, which nest, aggregate and serialise.
+    A raw ``time.perf_counter()`` pair in library code produces a number
+    nobody else can see: it never reaches a trace, never shows up in
+    the hotspot report, and silently duplicates the span machinery.
+    Only the ``repro.obs`` package itself (where the clock has to live)
+    is exempt; elsewhere the write must open a span or carry a
+    ``# lint: disable=adhoc-timing`` justification.
+    """
+
+    rule_id = "adhoc-timing"
+    severity = Severity.ERROR
+    description = "direct wall-clock timing in src/repro outside repro.obs"
+    node_types = (ast.Call,)
+
+    _CLOCKS = frozenset(
+        {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+         "process_time", "process_time_ns", "thread_time", "thread_time_ns"}
+    )
+
+    def check(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        clock = parts[-1] in self._CLOCKS or (
+            len(parts) >= 2 and parts[-2] == "time" and parts[-1] == "time"
+        )
+        if clock:
+            yield self.finding(
+                node,
+                ctx,
+                f"{dotted}() times code outside repro.obs; open an obs.span "
+                "(or inject a clock) so the measurement reaches traces and "
+                "reports",
+            )
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        """True for files inside the ``repro`` package but not ``obs``."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+        return "obs" not in rest
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -376,4 +429,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     DuplicateRegistryKeyRule,
     BareExceptRule,
     MutableDefaultArgRule,
+    AdHocTimingRule,
 )

@@ -3,9 +3,11 @@
 from repro.autograd.tensor import (
     Tensor,
     as_tensor,
+    get_tape_hook,
     is_grad_enabled,
     no_grad,
     set_grad_enabled,
+    set_tape_hook,
 )
 from repro.autograd import ops, functional, scatter
 
@@ -15,6 +17,8 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "set_grad_enabled",
+    "set_tape_hook",
+    "get_tape_hook",
     "ops",
     "functional",
     "scatter",

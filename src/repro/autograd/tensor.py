@@ -31,9 +31,32 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "set_grad_enabled",
+    "set_tape_hook",
+    "get_tape_hook",
 ]
 
 _GRAD_ENABLED = True
+
+# Profiling hook installed by repro.obs.autograd while a profile is
+# active. ``None`` means disabled, and the only cost every op then pays
+# is one global load and an identity check in ``Tensor._from_op``. When
+# set, the hook is called with ``(data, parents, backward_fn)`` for
+# every dispatched op and returns the (possibly wrapped) backward
+# closure to record on the tape.
+_TAPE_HOOK = None
+
+
+def set_tape_hook(hook) -> None:
+    """Install (or with ``None`` remove) the op-dispatch profiling hook."""
+    global _TAPE_HOOK
+    if hook is not None and _TAPE_HOOK is not None and _TAPE_HOOK is not hook:
+        raise RuntimeError("an autograd tape hook is already installed")
+    _TAPE_HOOK = hook
+
+
+def get_tape_hook():
+    """The currently installed op-dispatch hook (``None`` when disabled)."""
+    return _TAPE_HOOK
 
 
 def is_grad_enabled() -> bool:
@@ -119,6 +142,9 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Build the result tensor of an op, recording the tape entry."""
+        hook = _TAPE_HOOK
+        if hook is not None:
+            backward_fn = hook(data, parents, backward_fn)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:

@@ -8,9 +8,11 @@ Commands
 ``table``            regenerate a paper table (6/7/8/9/10)
 ``figure``           regenerate a paper figure (2/3/4a/4b)
 ``lint``             static analysis of repo invariants (repro.analysis)
+``profile``          run search/baseline under the profiler (repro.obs)
 
 All commands take ``--scale smoke|default|full`` (default: value of
-``REPRO_SCALE`` or ``default``) and ``--seed``.
+``REPRO_SCALE`` or ``default``) and ``--seed``. ``profile`` also
+accepts them after the subcommand for convenience.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import os
 import sys
 
 from repro.analysis import lint_paths, render_json, render_text
+from repro.obs import ProfileSession
 from repro.experiments import (
     SCALES,
     run_figure2,
@@ -103,6 +106,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--format", choices=("text", "json"), default="text")
 
+    profile = commands.add_parser(
+        "profile",
+        help="run a command under the observability layer and report hotspots",
+    )
+    profile.add_argument(
+        "target", choices=("search", "baseline"), help="what to profile"
+    )
+    profile.add_argument("--dataset", choices=ALL_DATASETS, default="cora")
+    profile.add_argument(
+        "--name", default="gcn", help="baseline architecture (target=baseline)"
+    )
+    profile.add_argument("--layers", type=int, default=3)
+    profile.add_argument("--epsilon", type=float, default=0.0)
+    profile.add_argument(
+        "--trace",
+        default=None,
+        help="trace JSONL path (default: trace-<target>-<dataset>.jsonl)",
+    )
+    profile.add_argument("--top", type=int, default=10, help="hotspot table size")
+    profile.add_argument(
+        "--no-autograd",
+        action="store_true",
+        help="skip per-op autograd profiling (spans only)",
+    )
+    # Accepted after the subcommand too; SUPPRESS keeps an absent flag
+    # from clobbering the top-level value already parsed.
+    profile.add_argument(
+        "--scale", choices=sorted(SCALES), default=argparse.SUPPRESS
+    )
+    profile.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+
     return parser
 
 
@@ -122,6 +156,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if result.error_count else 0
 
     scale = SCALES[args.scale]
+
+    if args.command == "profile":
+        return _run_profile(args, scale)
 
     if args.command == "stats":
         print(run_table4(scale, seed=args.seed).render())
@@ -160,6 +197,45 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     return 1  # unreachable: argparse enforces a command
+
+
+def _run_profile(args, scale) -> int:
+    """``repro profile``: wrap search/baseline in a ProfileSession."""
+    trace_path = args.trace or f"trace-{args.target}-{args.dataset}.jsonl"
+    data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
+    label = f"{args.target}:{args.dataset}"
+    with ProfileSession(
+        trace_path=trace_path, autograd=not args.no_autograd, label=label
+    ) as session:
+        if args.target == "search":
+            run = run_sane(
+                data,
+                scale,
+                seed=args.seed,
+                num_layers=args.layers,
+                epsilon=args.epsilon,
+            )
+            headline = (
+                f"architecture: {run.architecture}\n"
+                f"search time:  {run.search_time:.1f}s\n"
+                f"test score:   {format_mean_std(run.test_scores)}"
+            )
+            session.metrics.gauge("search_time_s").set(run.search_time)
+            session.metrics.histogram("test_score").observe(
+                float(sum(run.test_scores) / len(run.test_scores))
+            )
+        else:
+            scores = run_human_baseline(args.name, data, scale, seed=args.seed)
+            headline = f"{args.name} on {args.dataset}: {format_mean_std(scores)}"
+            session.metrics.histogram("test_score").observe(
+                float(sum(scores) / len(scores))
+            )
+    print(headline)
+    print()
+    print(session.report(top=args.top))
+    print()
+    print(f"trace: {trace_path} ({session.duration:.1f}s profiled)")
+    return 0
 
 
 if __name__ == "__main__":

@@ -17,10 +17,10 @@ Works for both task families:
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
 from repro.core.search_space import Architecture, SearchSpace
@@ -181,24 +181,32 @@ class SaneSearcher:
         """Run the search loop and return the derived architecture."""
         history: list[tuple[float, float]] = []
         snapshots: list[dict[str, np.ndarray]] = []
-        started = time.perf_counter()
-        for __ in range(self.config.epochs):
-            self._alpha_step()
-            self._weight_step()
-            if self._w_scheduler is not None:
-                self._w_scheduler.step()
-            elapsed = time.perf_counter() - started
-            history.append((elapsed, self.validation_score()))
-            snapshots.append(
-                {
-                    "node": self.supernet.alpha_node.data.copy(),
-                    "skip": self.supernet.alpha_skip.data.copy(),
-                    "layer": self.supernet.alpha_layer.data.copy(),
-                }
-            )
+        search_span = obs.span(
+            "search", kind="search", algo="sane", mode=self._mode
+        ).start()
+        for epoch in range(self.config.epochs):
+            with obs.span("epoch", index=epoch):
+                with obs.span("alpha_step"):
+                    self._alpha_step()
+                with obs.span("weight_step"):
+                    self._weight_step()
+                if self._w_scheduler is not None:
+                    self._w_scheduler.step()
+                elapsed = search_span.elapsed()
+                with obs.span("validation"):
+                    score = self.validation_score()
+                history.append((elapsed, score))
+                snapshots.append(
+                    {
+                        "node": self.supernet.alpha_node.data.copy(),
+                        "skip": self.supernet.alpha_skip.data.copy(),
+                        "layer": self.supernet.alpha_layer.data.copy(),
+                    }
+                )
+        search_span.finish()
         return SearchResult(
             architecture=self.supernet.derive(self._rng),
-            search_time=time.perf_counter() - started,
+            search_time=search_span.duration,
             history=history,
             supernet=self.supernet,
             alpha_snapshots=snapshots,

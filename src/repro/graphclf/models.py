@@ -10,10 +10,10 @@ SANE, no per-graph Python loop.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
 from repro.autograd.tensor import Tensor
@@ -146,33 +146,38 @@ def train_graph_classifier(
 
     best = {"val": -1.0, "test": 0.0, "epoch": 0, "state": None}
     since_best = 0
-    started = time.perf_counter()
+    train_span = obs.span("train", kind="train", task="graphclf").start()
     for epoch in range(config.epochs):
-        model.train()
-        optimizer.zero_grad()
-        loss = F.cross_entropy(model(train_batch), train_batch.labels)
-        loss.backward()
-        clip_grad_norm(model.parameters(), config.grad_clip)
-        optimizer.step()
+        with obs.span("epoch", index=epoch):
+            model.train()
+            optimizer.zero_grad()
+            with obs.span("forward"):
+                loss = F.cross_entropy(model(train_batch), train_batch.labels)
+            with obs.span("backward"):
+                loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
 
-        val_score = _accuracy(model, val_batch)
-        if val_score > best["val"]:
-            best.update(
-                val=val_score,
-                test=_accuracy(model, test_batch),
-                epoch=epoch,
-                state=model.state_dict(),
-            )
-            since_best = 0
-        else:
-            since_best += 1
-            if since_best >= config.patience:
-                break
+            with obs.span("eval"):
+                val_score = _accuracy(model, val_batch)
+            if val_score > best["val"]:
+                best.update(
+                    val=val_score,
+                    test=_accuracy(model, test_batch),
+                    epoch=epoch,
+                    state=model.state_dict(),
+                )
+                since_best = 0
+            else:
+                since_best += 1
+                if since_best >= config.patience:
+                    break
     if best["state"] is not None:
         model.load_state_dict(best["state"])
+    train_span.finish()
     return GraphClfResult(
         val_score=best["val"],
         test_score=best["test"],
         best_epoch=best["epoch"],
-        train_time=time.perf_counter() - started,
+        train_time=train_span.duration,
     )

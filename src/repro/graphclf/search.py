@@ -10,10 +10,10 @@ Algorithm 1.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad, ops
 from repro.autograd.tensor import Tensor
@@ -142,29 +142,33 @@ def search_graph_classifier(
     val_batch = collate(dataset.val)
 
     history: list[tuple[float, float]] = []
-    started = time.perf_counter()
-    for __ in range(config.epochs):
-        supernet.train()
-        supernet.zero_grad()
-        F.cross_entropy(supernet(val_batch), val_batch.labels).backward()
-        clip_grad_norm(supernet.arch_parameters(), config.grad_clip)
-        alpha_optimizer.step()
+    search_span = obs.span("search", kind="search", algo="sane", task="graphclf").start()
+    for epoch in range(config.epochs):
+        with obs.span("epoch", index=epoch):
+            supernet.train()
+            supernet.zero_grad()
+            with obs.span("alpha_step"):
+                F.cross_entropy(supernet(val_batch), val_batch.labels).backward()
+                clip_grad_norm(supernet.arch_parameters(), config.grad_clip)
+                alpha_optimizer.step()
 
-        supernet.zero_grad()
-        F.cross_entropy(supernet(train_batch), train_batch.labels).backward()
-        clip_grad_norm(supernet.weight_parameters(), config.grad_clip)
-        w_optimizer.step()
+            supernet.zero_grad()
+            with obs.span("weight_step"):
+                F.cross_entropy(supernet(train_batch), train_batch.labels).backward()
+                clip_grad_norm(supernet.weight_parameters(), config.grad_clip)
+                w_optimizer.step()
 
-        supernet.eval()
-        with no_grad():
-            logits = supernet(val_batch).numpy()
-        score = float((logits.argmax(axis=1) == val_batch.labels).mean())
-        history.append((time.perf_counter() - started, score))
+            supernet.eval()
+            with obs.span("validation"), no_grad():
+                logits = supernet(val_batch).numpy()
+            score = float((logits.argmax(axis=1) == val_batch.labels).mean())
+            history.append((search_span.elapsed(), score))
 
+    search_span.finish()
     node_choices, pooling = supernet.derive()
     return GraphSearchResult(
         node_aggregators=node_choices,
         pooling=pooling,
-        search_time=time.perf_counter() - started,
+        search_time=search_span.duration,
         history=history,
     )

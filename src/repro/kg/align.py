@@ -16,10 +16,10 @@ Three model families from Table VIII:
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad, ops
 from repro.autograd.scatter import gather
@@ -223,48 +223,52 @@ def train_aligner(
 
     best = {"val": -1.0, "test": None, "epoch": 0, "state": None}
     since_best = 0
-    started = time.perf_counter()
+    train_span = obs.span("train", kind="train", task="kg-align").start()
     for epoch in range(config.epochs):
-        model.train()
-        optimizer.zero_grad()
-        z1, z2 = model.encode()
-        loss = margin_ranking_loss(
-            z1, z2, dataset.train_links, rng, config.margin, config.num_negatives
-        )
-        structure = model.structure_loss(rng)
-        if structure is not None:
-            loss = loss + 0.5 * structure
-        loss.backward()
-        clip_grad_norm(model.parameters(), config.grad_clip)
-        optimizer.step()
+        with obs.span("epoch", index=epoch):
+            model.train()
+            optimizer.zero_grad()
+            with obs.span("forward"):
+                z1, z2 = model.encode()
+                loss = margin_ranking_loss(
+                    z1, z2, dataset.train_links, rng, config.margin, config.num_negatives
+                )
+                structure = model.structure_loss(rng)
+                if structure is not None:
+                    loss = loss + 0.5 * structure
+            with obs.span("backward"):
+                loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
 
-        model.eval()
-        with no_grad():
-            z1_eval, z2_eval = model.encode()
-        val = evaluate_alignment(
-            z1_eval.numpy(), z2_eval.numpy(), dataset.val_links, ks=(1,)
-        )
-        val_hits1 = val["zh->en"][1]
-        if val_hits1 > best["val"]:
-            best.update(
-                val=val_hits1,
-                test=evaluate_alignment(
-                    z1_eval.numpy(), z2_eval.numpy(), dataset.test_links
-                ),
-                epoch=epoch,
-                state=model.state_dict(),
+            model.eval()
+            with obs.span("eval"), no_grad():
+                z1_eval, z2_eval = model.encode()
+            val = evaluate_alignment(
+                z1_eval.numpy(), z2_eval.numpy(), dataset.val_links, ks=(1,)
             )
-            since_best = 0
-        else:
-            since_best += 1
-            if since_best >= config.patience:
-                break
+            val_hits1 = val["zh->en"][1]
+            if val_hits1 > best["val"]:
+                best.update(
+                    val=val_hits1,
+                    test=evaluate_alignment(
+                        z1_eval.numpy(), z2_eval.numpy(), dataset.test_links
+                    ),
+                    epoch=epoch,
+                    state=model.state_dict(),
+                )
+                since_best = 0
+            else:
+                since_best += 1
+                if since_best >= config.patience:
+                    break
 
     if best["state"] is not None:
         model.load_state_dict(best["state"])
+    train_span.finish()
     return AlignResult(
         val_hits1=best["val"],
         test_hits=best["test"],
         best_epoch=best["epoch"],
-        train_time=time.perf_counter() - started,
+        train_time=train_span.duration,
     )

@@ -12,10 +12,10 @@ and ``w`` the training margin loss, exactly as Algorithm 1.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad, ops
 from repro.autograd.tensor import Tensor
@@ -137,39 +137,44 @@ def search_alignment(
     )
 
     history: list[tuple[float, float]] = []
-    started = time.perf_counter()
-    for __ in range(config.epochs):
-        # alpha step on validation links.
-        supernet.train()
-        supernet.zero_grad()
-        z1, z2 = supernet.encode()
-        val_loss = margin_ranking_loss(
-            z1, z2, dataset.val_links, rng, config.margin, config.num_negatives
-        )
-        val_loss.backward()
-        clip_grad_norm(supernet.arch_parameters(), config.grad_clip)
-        alpha_optimizer.step()
+    search_span = obs.span("search", kind="search", algo="sane", task="kg-align").start()
+    for epoch in range(config.epochs):
+        with obs.span("epoch", index=epoch):
+            # alpha step on validation links.
+            supernet.train()
+            supernet.zero_grad()
+            with obs.span("alpha_step"):
+                z1, z2 = supernet.encode()
+                val_loss = margin_ranking_loss(
+                    z1, z2, dataset.val_links, rng, config.margin, config.num_negatives
+                )
+                val_loss.backward()
+                clip_grad_norm(supernet.arch_parameters(), config.grad_clip)
+                alpha_optimizer.step()
 
-        # w step on training links.
-        supernet.zero_grad()
-        z1, z2 = supernet.encode()
-        train_loss = margin_ranking_loss(
-            z1, z2, dataset.train_links, rng, config.margin, config.num_negatives
-        )
-        train_loss.backward()
-        clip_grad_norm(supernet.weight_parameters(), config.grad_clip)
-        w_optimizer.step()
+            # w step on training links.
+            supernet.zero_grad()
+            with obs.span("weight_step"):
+                z1, z2 = supernet.encode()
+                train_loss = margin_ranking_loss(
+                    z1, z2, dataset.train_links, rng, config.margin, config.num_negatives
+                )
+                train_loss.backward()
+                clip_grad_norm(supernet.weight_parameters(), config.grad_clip)
+                w_optimizer.step()
 
-        supernet.eval()
-        with no_grad():
-            z1_eval, z2_eval = supernet.encode()
-        hits = evaluate_alignment(
-            z1_eval.numpy(), z2_eval.numpy(), dataset.val_links, ks=(1,)
-        )
-        history.append((time.perf_counter() - started, hits["zh->en"][1]))
+            supernet.eval()
+            with obs.span("validation"):
+                with no_grad():
+                    z1_eval, z2_eval = supernet.encode()
+                hits = evaluate_alignment(
+                    z1_eval.numpy(), z2_eval.numpy(), dataset.val_links, ks=(1,)
+                )
+            history.append((search_span.elapsed(), hits["zh->en"][1]))
 
+    search_span.finish()
     return AlignSearchResult(
         node_aggregators=supernet.derive(),
-        search_time=time.perf_counter() - started,
+        search_time=search_span.duration,
         history=history,
     )

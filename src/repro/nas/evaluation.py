@@ -11,10 +11,10 @@ wall-clock for Table VII.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.core.derive import architecture_to_model
 from repro.core.search_space import Architecture
 from repro.gnn.models import GNNModel
@@ -93,24 +93,28 @@ class ArchitectureEvaluator:
         self._rng = np.random.default_rng(seed)
         self._bank: dict[str, np.ndarray] = {}
         self.records: list[EvaluationRecord] = []
-        self._started = time.perf_counter()
+        # Detached stopwatch: `elapsed` on every record is "seconds
+        # since this evaluator was created" (the Figure 3 x-axis), a
+        # region with no lexical scope to `with` over.
+        self._lifetime = obs.span("nas-evaluator", kind="lifetime").start_detached()
 
     # ------------------------------------------------------------------
     def evaluate(self, indices: tuple[int, ...]) -> EvaluationRecord:
         """Train the candidate and append its record."""
-        model = self._build(indices)
-        config = self.train_config
-        if self.weight_sharing:
-            self._load_shared(model, indices)
-            config = config.replace(epochs=self.ws_epochs, patience=self.ws_epochs)
-        result = fit(model, self.data, config)
-        if self.weight_sharing:
-            self._store_shared(model, indices)
+        with obs.span("candidate", indices=list(indices)):
+            model = self._build(indices)
+            config = self.train_config
+            if self.weight_sharing:
+                self._load_shared(model, indices)
+                config = config.replace(epochs=self.ws_epochs, patience=self.ws_epochs)
+            result = fit(model, self.data, config)
+            if self.weight_sharing:
+                self._store_shared(model, indices)
         record = EvaluationRecord(
             indices=tuple(indices),
             val_score=result.val_score,
             test_score=result.test_score,
-            elapsed=time.perf_counter() - self._started,
+            elapsed=self._lifetime.elapsed(),
         )
         self.records.append(record)
         return record

@@ -1,0 +1,53 @@
+"""Observability: tracing, metrics, and autograd profiling.
+
+The subsystem the efficiency experiments (Figure 3 / Table VII) lean
+on: *where does search time go?* It has four parts —
+
+* :mod:`repro.obs.spans` — nested wall-time spans via a process-wide
+  :class:`Tracer`; all ``search_time``/``train_time`` numbers in the
+  repo come from spans (the ``adhoc-timing`` lint rule keeps it that
+  way);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a
+  :class:`MetricsRegistry`;
+* :mod:`repro.obs.sinks` + :mod:`repro.obs.report` — in-memory and
+  JSON-lines trace sinks, and the hotspot report over a finished trace;
+* :mod:`repro.obs.autograd` — per-op profiling hooked into the
+  autograd tape dispatch (zero overhead while disabled).
+
+:class:`ProfileSession` bundles all of it for ``repro profile``::
+
+    from repro import obs
+
+    with obs.ProfileSession(trace_path="trace.jsonl") as session:
+        run_search()
+    print(session.report())
+"""
+
+from repro.obs.autograd import AutogradProfiler, OpStats, profile_autograd
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import SpanAggregate, aggregate_spans, hotspot_report
+from repro.obs.session import ProfileSession
+from repro.obs.sinks import TRACE_VERSION, InMemorySink, JsonlSink, read_trace
+from repro.obs.spans import Span, Tracer, get_tracer, span
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "InMemorySink",
+    "JsonlSink",
+    "read_trace",
+    "TRACE_VERSION",
+    "SpanAggregate",
+    "aggregate_spans",
+    "hotspot_report",
+    "AutogradProfiler",
+    "OpStats",
+    "profile_autograd",
+    "ProfileSession",
+]

@@ -1,0 +1,130 @@
+"""Counters, gauges, and histograms — the scalar side of observability.
+
+Spans answer "where does time go"; metrics answer "how much / how many"
+(epochs run, candidates evaluated, bytes moved, best score so far). A
+:class:`MetricsRegistry` is a named collection of the three instrument
+kinds, snapshot-able to a plain dict so sinks and the benchmark emitter
+can serialise it without knowing the types.
+
+Everything is dependency-free and deliberately minimal: histograms keep
+count/total/min/max/last (enough for hotspot and bench summaries), not
+full reservoirs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclasses.dataclass
+class Counter:
+    """Monotonically increasing value (events, epochs, bytes)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+@dataclasses.dataclass
+class Gauge:
+    """Last-write-wins value (current lr, best validation score)."""
+
+    name: str
+    value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+@dataclasses.dataclass
+class Histogram:
+    """Streaming summary of observed values (per-epoch loss, op bytes)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+    last: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.last = value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "last": self.last,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use with a stable type.
+
+    Asking for an existing name with a different instrument kind is an
+    error — silently returning the wrong type would corrupt whichever
+    caller came second.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict:
+        """Serialise every instrument, grouped by kind, names sorted."""
+        groups: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        kind_key = {Counter: "counters", Gauge: "gauges", Histogram: "histograms"}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            groups[kind_key[type(instrument)]][name] = instrument.to_dict()
+        return groups

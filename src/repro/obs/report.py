@@ -1,0 +1,204 @@
+"""Human-readable hotspot report over a finished trace.
+
+Input is the list of finished spans (live :class:`Span` objects or the
+dicts a JSONL trace round-trips to — both are accepted everywhere), and
+optionally the autograd op stats and a metrics snapshot. Output is the
+report ``repro profile`` prints:
+
+* **phase breakdown** — spans aggregated by their path in the span tree
+  (``search/epoch/weight_step``), with cumulative, self (cumulative
+  minus time attributed to child spans) and mean durations;
+* **hotspot table** — top-K autograd ops ranked by self time
+  (forward self + backward), with call counts and tensor bytes;
+* **metrics** — counters/gauges/histograms, if any were recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["SpanAggregate", "aggregate_spans", "hotspot_report"]
+
+
+def _as_record(span) -> dict:
+    return span if isinstance(span, dict) else span.to_dict()
+
+
+@dataclasses.dataclass
+class SpanAggregate:
+    """Accumulated timings of every span sharing one tree path."""
+
+    path: str
+    count: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "count": self.count,
+            "total": self.total,
+            "self": self.self_time,
+            "mean": self.mean,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum,
+        }
+
+
+def aggregate_spans(spans) -> list[SpanAggregate]:
+    """Group spans by tree path; sorted by cumulative time, descending.
+
+    Self time is each span's duration minus its direct children's, so
+    summing ``self`` over the whole table reproduces the root wall time
+    (no double counting, unlike the ``total`` column which is
+    cumulative).
+    """
+    records = [_as_record(span) for span in spans]
+    by_id = {record["id"]: record for record in records}
+    child_time: dict[int, float] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + record["dur"]
+
+    def path_of(record: dict) -> str:
+        parts = [record["name"]]
+        seen = {record["id"]}
+        parent = record.get("parent")
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            parent_record = by_id[parent]
+            parts.append(parent_record["name"])
+            parent = parent_record.get("parent")
+        return "/".join(reversed(parts))
+
+    aggregates: dict[str, SpanAggregate] = {}
+    for record in records:
+        path = path_of(record)
+        aggregate = aggregates.get(path)
+        if aggregate is None:
+            aggregate = aggregates[path] = SpanAggregate(path)
+        duration = record["dur"]
+        aggregate.count += 1
+        aggregate.total += duration
+        aggregate.self_time += duration - child_time.get(record["id"], 0.0)
+        aggregate.minimum = min(aggregate.minimum, duration)
+        aggregate.maximum = max(aggregate.maximum, duration)
+    return sorted(aggregates.values(), key=lambda a: (-a.total, a.path))
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    """Right-align numbers under left-aligned first column."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = "  ".join(
+        h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+        for i, h in enumerate(headers)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return lines
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def _bytes_human(num: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if num < 1024.0 or unit == "GB":
+            return f"{num:.1f}{unit}" if unit != "B" else f"{int(num)}B"
+        num /= 1024.0
+    return f"{num:.1f}GB"
+
+
+def hotspot_report(
+    spans,
+    op_stats: list[dict] | None = None,
+    metrics: dict | None = None,
+    top: int = 10,
+) -> str:
+    """Render the full report; every section is skipped when empty."""
+    sections: list[str] = []
+
+    aggregates = aggregate_spans(spans)
+    if aggregates:
+        rows = [
+            [
+                a.path,
+                str(a.count),
+                _seconds(a.total),
+                _seconds(a.self_time),
+                _seconds(a.mean),
+            ]
+            for a in aggregates
+        ]
+        lines = ["== Phase breakdown (spans) =="]
+        lines.extend(
+            _format_table(["phase", "count", "cum s", "self s", "mean s"], rows)
+        )
+        sections.append("\n".join(lines))
+
+    if op_stats:
+        ranked = sorted(
+            op_stats,
+            key=lambda s: -(s.get("forward_self", 0.0) + s.get("backward_time", 0.0)),
+        )[: max(top, 1)]
+        rows = []
+        for stat in ranked:
+            rows.append(
+                [
+                    stat["name"],
+                    str(stat.get("calls", 0)),
+                    str(stat.get("tape_entries", 0)),
+                    _seconds(stat.get("forward_self", 0.0)),
+                    _seconds(stat.get("forward_cum", 0.0)),
+                    _seconds(stat.get("backward_time", 0.0)),
+                    _bytes_human(stat.get("output_bytes", 0)),
+                ]
+            )
+        lines = [f"== Top {len(ranked)} autograd ops (by self time) =="]
+        lines.extend(
+            _format_table(
+                ["op", "calls", "tape", "fwd self s", "fwd cum s", "bwd s", "out bytes"],
+                rows,
+            )
+        )
+        sections.append("\n".join(lines))
+
+    if metrics:
+        lines = ["== Metrics =="]
+        for kind in ("counters", "gauges", "histograms"):
+            for name, payload in (metrics.get(kind) or {}).items():
+                if kind == "histograms":
+                    mean = payload.get("mean")
+                    mean_text = "n/a" if mean is None else f"{mean:.6g}"
+                    lines.append(
+                        f"{name}: count={payload.get('count')} "
+                        f"mean={mean_text} min={payload.get('min')} "
+                        f"max={payload.get('max')}"
+                    )
+                else:
+                    lines.append(f"{name}: {payload.get('value')}")
+        if len(lines) > 1:
+            sections.append("\n".join(lines))
+
+    if not sections:
+        return "(empty trace: no spans, op stats, or metrics recorded)"
+    return "\n\n".join(sections)

@@ -1,0 +1,89 @@
+"""One-stop profiling session: spans + autograd ops + metrics + trace.
+
+:class:`ProfileSession` is what ``repro profile`` (and any caller that
+wants "profile this block") uses. Entering the session
+
+* attaches an in-memory sink (for the report) and, if a path was
+  given, a JSONL sink (the trace file) to the process tracer,
+* installs the autograd op profiler (optional),
+* opens a root span so every library span recorded inside the block
+  hangs off one tree.
+
+Leaving it tears all of that down, appends the op stats and metrics
+snapshot to the trace, and leaves the collected data available for
+:meth:`ProfileSession.report`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.autograd import AutogradProfiler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import hotspot_report
+from repro.obs.sinks import InMemorySink, JsonlSink
+from repro.obs.spans import Tracer, get_tracer
+
+__all__ = ["ProfileSession"]
+
+
+class ProfileSession:
+    """Profile everything that happens inside a ``with`` block."""
+
+    def __init__(
+        self,
+        trace_path: str | Path | None = None,
+        autograd: bool = True,
+        label: str = "profile",
+        tracer: Tracer | None = None,
+    ):
+        self.tracer = tracer or get_tracer()
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.label = label
+        self.metrics = MetricsRegistry()
+        self.memory = InMemorySink()
+        self.profiler = AutogradProfiler(clock=self.tracer.clock) if autograd else None
+        self._jsonl: JsonlSink | None = None
+        self._root = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProfileSession":
+        self.tracer.add_sink(self.memory)
+        if self.trace_path is not None:
+            self._jsonl = JsonlSink(self.trace_path, meta={"label": self.label})
+            self.tracer.add_sink(self._jsonl)
+        if self.profiler is not None:
+            self.profiler.install()
+        self._root = self.tracer.span(self.label, kind="profile").start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._root.finish()
+        if self.profiler is not None:
+            self.profiler.uninstall()
+        if self._jsonl is not None:
+            self._jsonl.write_op_stats(self.op_stats())
+            self._jsonl.write_metrics(self.metrics)
+            self.tracer.remove_sink(self._jsonl)
+            self._jsonl.close()
+            self._jsonl = None
+        self.tracer.remove_sink(self.memory)
+        return False
+
+    # ------------------------------------------------------------------
+    def op_stats(self) -> list[dict]:
+        return self.profiler.stats() if self.profiler is not None else []
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the profiled block (root span duration)."""
+        return self._root.duration if self._root is not None else 0.0
+
+    def report(self, top: int = 10) -> str:
+        """Render the hotspot report for everything collected so far."""
+        return hotspot_report(
+            self.memory.spans,
+            op_stats=self.op_stats(),
+            metrics=self.metrics.snapshot() if len(self.metrics) else None,
+            top=top,
+        )

@@ -1,0 +1,108 @@
+"""Span sinks: in-memory aggregation and JSON-lines trace files.
+
+A sink is anything with ``record(span)``; the tracer calls it once per
+*finished* span (children before parents, since children finish first).
+Two implementations cover the subsystem's needs:
+
+* :class:`InMemorySink` — keeps the spans for post-hoc reporting
+  (hotspot report, benchmark summaries, tests);
+* :class:`JsonlSink` — streams one JSON object per line to a file, the
+  ``repro profile`` trace format. Besides spans it can append
+  ``metrics`` and ``op_stats`` records, so one file carries the whole
+  profile. :func:`read_trace` loads it back for tooling and tests.
+
+Trace schema (one object per line, discriminated by ``type``):
+
+``{"type": "trace-meta", "version": 1, ...}``   — first line
+``{"type": "span", "id", "parent", "depth", "name", "kind",
+   "start", "end", "dur", "attrs"?}``           — one per span
+``{"type": "metrics", "data": {...}}``          — registry snapshot
+``{"type": "op_stats", "data": [...]}``         — autograd op profile
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+__all__ = ["InMemorySink", "JsonlSink", "read_trace", "TRACE_VERSION"]
+
+TRACE_VERSION = 1
+
+
+class InMemorySink:
+    """Collects finished spans in completion order."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def records(self) -> list[dict]:
+        """The spans as plain trace dicts."""
+        return [span.to_dict() for span in self.spans]
+
+
+class JsonlSink:
+    """Streams trace records to ``path`` as JSON lines."""
+
+    def __init__(self, path: str | Path, meta: dict | None = None):
+        self.path = Path(path)
+        self._file = self.path.open("w", encoding="utf-8")
+        header = {"type": "trace-meta", "version": TRACE_VERSION}
+        if meta:
+            header.update(meta)
+        self._write(header)
+
+    def _write(self, record: dict) -> None:
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def record(self, span: Span) -> None:
+        self._write(span.to_dict())
+
+    def write_metrics(self, registry: MetricsRegistry) -> None:
+        self._write({"type": "metrics", "data": registry.snapshot()})
+
+    def write_op_stats(self, op_stats: list[dict]) -> None:
+        self._write({"type": "op_stats", "data": op_stats})
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into dicts (validates the header)."""
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid trace line: {exc}"
+                ) from exc
+            records.append(record)
+    if not records or records[0].get("type") != "trace-meta":
+        raise ValueError(f"{path}: not a repro trace (missing trace-meta header)")
+    return records

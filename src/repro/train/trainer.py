@@ -11,10 +11,10 @@ used").
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
 from repro.graph.data import Graph, MultiGraphDataset
@@ -75,54 +75,58 @@ def train_transductive(
     best = {"val": -1.0, "test": 0.0, "train": 0.0, "epoch": 0, "state": None}
     best_val_loss = np.inf
     history: list[tuple[float, float]] = []
-    started = time.perf_counter()
+    train_span = obs.span("train", kind="train", mode="transductive").start()
     since_best = 0
     for epoch in range(config.epochs):
-        model.train()
-        optimizer.zero_grad()
-        logits = model(graph.features, cache)
-        loss = F.cross_entropy(logits[train_mask], labels[train_mask])
-        loss.backward()
-        clip_grad_norm(model.parameters(), config.grad_clip)
-        optimizer.step()
+        with obs.span("epoch", index=epoch):
+            model.train()
+            optimizer.zero_grad()
+            with obs.span("forward"):
+                logits = model(graph.features, cache)
+                loss = F.cross_entropy(logits[train_mask], labels[train_mask])
+            with obs.span("backward"):
+                loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
 
-        model.eval()
-        with no_grad():
-            eval_logits_t = model(graph.features, cache)
-            val_loss = F.cross_entropy(
-                eval_logits_t[val_mask], labels[val_mask]
-            ).item()
-        eval_logits = eval_logits_t.numpy()
-        val_score = accuracy(eval_logits, labels, val_mask)
-        history.append((loss.item(), val_score))
-        # Tie-break equal scores by validation loss so early stopping is
-        # not fooled by long plateaus (e.g. an all-negative start).
-        improved = val_score > best["val"] or (
-            val_score == best["val"] and val_loss < best_val_loss
-        )
-        if improved:
-            best_val_loss = min(best_val_loss, val_loss)
-            best.update(
-                val=val_score,
-                test=accuracy(eval_logits, labels, test_mask),
-                train=accuracy(eval_logits, labels, train_mask),
-                epoch=epoch,
-                state=model.state_dict(),
+            model.eval()
+            with obs.span("eval"), no_grad():
+                eval_logits_t = model(graph.features, cache)
+                val_loss = F.cross_entropy(
+                    eval_logits_t[val_mask], labels[val_mask]
+                ).item()
+            eval_logits = eval_logits_t.numpy()
+            val_score = accuracy(eval_logits, labels, val_mask)
+            history.append((loss.item(), val_score))
+            # Tie-break equal scores by validation loss so early stopping is
+            # not fooled by long plateaus (e.g. an all-negative start).
+            improved = val_score > best["val"] or (
+                val_score == best["val"] and val_loss < best_val_loss
             )
-            since_best = 0
-        else:
-            since_best += 1
-            if since_best >= config.patience:
-                break
+            if improved:
+                best_val_loss = min(best_val_loss, val_loss)
+                best.update(
+                    val=val_score,
+                    test=accuracy(eval_logits, labels, test_mask),
+                    train=accuracy(eval_logits, labels, train_mask),
+                    epoch=epoch,
+                    state=model.state_dict(),
+                )
+                since_best = 0
+            else:
+                since_best += 1
+                if since_best >= config.patience:
+                    break
 
     if best["state"] is not None:
         model.load_state_dict(best["state"])
+    train_span.finish()
     return TrainResult(
         val_score=best["val"],
         test_score=best["test"],
         train_score=best["train"],
         best_epoch=best["epoch"],
-        train_time=time.perf_counter() - started,
+        train_time=train_span.duration,
         history=history,
     )
 
@@ -138,50 +142,55 @@ def train_inductive(
     best = {"val": -1.0, "test": 0.0, "train": 0.0, "epoch": 0, "state": None}
     best_val_loss = np.inf
     history: list[tuple[float, float]] = []
-    started = time.perf_counter()
+    train_span = obs.span("train", kind="train", mode="inductive").start()
     since_best = 0
     for epoch in range(config.epochs):
-        model.train()
-        epoch_loss = 0.0
-        for graph in dataset.train_graphs:
-            optimizer.zero_grad()
-            logits = model(graph.features, caches[id(graph)])
-            loss = F.binary_cross_entropy_with_logits(
-                logits, graph.labels.astype(np.float64)
-            )
-            loss.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            epoch_loss += loss.item()
+        with obs.span("epoch", index=epoch):
+            model.train()
+            epoch_loss = 0.0
+            for graph in dataset.train_graphs:
+                optimizer.zero_grad()
+                with obs.span("forward"):
+                    logits = model(graph.features, caches[id(graph)])
+                    loss = F.binary_cross_entropy_with_logits(
+                        logits, graph.labels.astype(np.float64)
+                    )
+                with obs.span("backward"):
+                    loss.backward()
+                clip_grad_norm(model.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
 
-        val_score, val_loss = _score_graphs(model, dataset.val_graphs, caches)
-        history.append((epoch_loss / len(dataset.train_graphs), val_score))
-        improved = val_score > best["val"] or (
-            val_score == best["val"] and val_loss < best_val_loss
-        )
-        if improved:
-            best_val_loss = min(best_val_loss, val_loss)
-            best.update(
-                val=val_score,
-                test=_score_graphs(model, dataset.test_graphs, caches)[0],
-                train=_score_graphs(model, dataset.train_graphs, caches)[0],
-                epoch=epoch,
-                state=model.state_dict(),
+            with obs.span("eval"):
+                val_score, val_loss = _score_graphs(model, dataset.val_graphs, caches)
+            history.append((epoch_loss / len(dataset.train_graphs), val_score))
+            improved = val_score > best["val"] or (
+                val_score == best["val"] and val_loss < best_val_loss
             )
-            since_best = 0
-        else:
-            since_best += 1
-            if since_best >= config.patience:
-                break
+            if improved:
+                best_val_loss = min(best_val_loss, val_loss)
+                best.update(
+                    val=val_score,
+                    test=_score_graphs(model, dataset.test_graphs, caches)[0],
+                    train=_score_graphs(model, dataset.train_graphs, caches)[0],
+                    epoch=epoch,
+                    state=model.state_dict(),
+                )
+                since_best = 0
+            else:
+                since_best += 1
+                if since_best >= config.patience:
+                    break
 
     if best["state"] is not None:
         model.load_state_dict(best["state"])
+    train_span.finish()
     return TrainResult(
         val_score=best["val"],
         test_score=best["test"],
         train_score=best["train"],
         best_epoch=best["epoch"],
-        train_time=time.perf_counter() - started,
+        train_time=train_span.duration,
         history=history,
     )
 

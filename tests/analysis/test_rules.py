@@ -258,6 +258,85 @@ class TestMutableDefaultArg:
         assert rule_ids(result) == []
 
 
+class TestAdHocTiming:
+    LIB_PATH = "src/repro/train/trainer.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_perf_counter_in_library_code(self):
+        result = self.run_at(
+            """
+            import time
+
+            def fit():
+                start = time.perf_counter()
+                return time.perf_counter() - start
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["adhoc-timing"] * 2
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_flags_bare_import_and_time_time(self):
+        result = self.run_at(
+            """
+            from time import perf_counter
+            import time
+
+            def fit():
+                return perf_counter(), time.time(), time.monotonic()
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["adhoc-timing"] * 3
+
+    def test_obs_package_is_exempt(self):
+        source = """
+            import time
+
+            def clock():
+                return time.perf_counter()
+            """
+        assert rule_ids(self.run_at(source, "src/repro/obs/spans.py")) == []
+        assert rule_ids(self.run_at(source, "src/repro/obs/autograd.py")) == []
+
+    def test_outside_repro_package_is_out_of_scope(self):
+        source = """
+            import time
+            start = time.perf_counter()
+            """
+        assert rule_ids(self.run_at(source, "benchmarks/common.py")) == []
+        assert rule_ids(self.run_at(source, "tests/test_cli.py")) == []
+        assert rule_ids(self.run_at(source, "snippet.py")) == []
+
+    def test_non_clock_time_attributes_are_clean(self):
+        result = self.run_at(
+            """
+            import time
+
+            def pause():
+                time.sleep(0.1)
+                return time.strftime("%H:%M")
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            import time
+            t0 = time.perf_counter()  # lint: disable=adhoc-timing -- boot probe
+            """,
+            self.LIB_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["adhoc-timing"]
+
+
 class TestSuppression:
     def test_inline_disable_moves_finding_to_suppressed(self):
         result = run(

@@ -1,8 +1,9 @@
-"""The analyzer gates the repo: ``src/repro`` must stay lint-clean.
+"""The analyzer gates the repo: the whole tree must stay lint-clean.
 
 This is the tier-1 enforcement hook the tentpole asks for — every
 future PR runs it via the default pytest suite, so an unsuppressed
-error-severity finding anywhere under ``src/repro`` fails CI.
+error-severity finding under ``src/repro``, ``tests`` or
+``benchmarks`` fails CI.
 """
 
 from pathlib import Path
@@ -11,34 +12,53 @@ import repro
 from repro.analysis import Severity, lint_paths
 
 PACKAGE_ROOT = Path(repro.__file__).parent
+REPO_ROOT = PACKAGE_ROOT.parent.parent
+LINT_ROOTS = [PACKAGE_ROOT, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+
+# Rules the tree legitimately suppresses, each pattern reviewed:
+# - tape-mutation: deliberate out-of-tape Tensor.data writes (optimiser
+#   steps, state restores, DARTS virtual steps, weight-sharing banks)
+#   plus test fixtures that pin alpha logits / weights before a forward;
+# - invalid-genotype: test fixtures constructing known-bad genotypes to
+#   assert the Architecture validator rejects them.
+# New suppressions of other rules deserve review — extend this set
+# consciously.
+ALLOWED_SUPPRESSIONS = {"tape-mutation", "invalid-genotype"}
 
 
 def result():
-    return lint_paths([PACKAGE_ROOT])
+    return lint_paths(LINT_ROOTS)
 
 
 class TestSelfCheck:
-    def test_source_tree_has_no_unsuppressed_errors(self):
+    def test_tree_has_no_unsuppressed_errors(self):
         findings = result()
         errors = [f for f in findings.findings if f.severity is Severity.ERROR]
         assert errors == [], "\n" + "\n".join(f.render() for f in errors)
 
-    def test_source_tree_has_no_warnings(self):
+    def test_tree_has_no_warnings(self):
         # Warnings don't fail `repro lint`, but the tree currently has
         # none; keep it that way (or suppress with a justification).
         findings = result()
         warnings = [f for f in findings.findings if f.severity is Severity.WARNING]
         assert warnings == [], "\n" + "\n".join(f.render() for f in warnings)
 
-    def test_every_suppression_is_an_intentional_tape_write(self):
-        # The only pattern the seed tree legitimately suppresses is the
-        # deliberate out-of-tape Tensor.data write (optimiser steps,
-        # state restores, DARTS virtual steps, pre-forward bias init).
-        # New suppressions of other rules deserve review — update this
-        # list consciously.
+    def test_every_suppression_is_an_allowed_pattern(self):
         findings = result()
-        assert {f.rule_id for f in findings.suppressed} <= {"tape-mutation"}
+        assert {f.rule_id for f in findings.suppressed} <= ALLOWED_SUPPRESSIONS
 
-    def test_whole_package_was_scanned(self):
+    def test_library_timing_goes_through_obs(self):
+        # The adhoc-timing rule keeps raw perf_counter pairs out of the
+        # library; nothing in src/repro should even need a suppression.
         findings = result()
-        assert findings.files > 60  # the package holds ~75 modules
+        timing = [
+            f
+            for f in findings.findings + findings.suppressed
+            if f.rule_id == "adhoc-timing"
+        ]
+        assert timing == [], "\n" + "\n".join(f.render() for f in timing)
+
+    def test_whole_tree_was_scanned(self):
+        findings = result()
+        # ~82 package modules + ~65 test modules + ~10 benchmarks.
+        assert findings.files > 140

@@ -1,0 +1,70 @@
+"""Counter/Gauge/Histogram instruments and the registry contract."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("epochs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("lr")
+        assert gauge.value is None
+        gauge.set(0.01)
+        gauge.set(0.001)
+        assert gauge.value == pytest.approx(0.001)
+
+    def test_histogram_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("loss")
+        assert histogram.mean is None
+        for value in (2.0, 4.0, 9.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 9.0
+        assert histogram.last == 9.0
+        assert histogram.mean == pytest.approx(5.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("n") is registry.counter("n")
+        assert len(registry) == 1
+        assert "n" in registry and "m" not in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_groups_by_kind_with_sorted_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("b_gauge").set(2.0)
+        registry.counter("a_counter").inc(3)
+        registry.histogram("c_hist").observe(1.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] == {"a_counter": {"value": 3.0}}
+        assert snap["gauges"] == {"b_gauge": {"value": 2.0}}
+        assert snap["histograms"]["c_hist"]["count"] == 1
+        assert snap["histograms"]["c_hist"]["mean"] == pytest.approx(1.5)
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(0.5)
+        assert json.loads(json.dumps(registry.snapshot()))["gauges"]["g"]["value"] == 0.5

@@ -1,0 +1,96 @@
+"""JSONL trace round-trip and sink behaviour."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    TRACE_VERSION,
+    Tracer,
+    read_trace,
+)
+
+
+def traced(tracer):
+    with tracer.span("search", kind="search", dataset="cora"):
+        with tracer.span("epoch", index=0):
+            pass
+        with tracer.span("epoch", index=1):
+            pass
+
+
+class TestInMemorySink:
+    def test_records_and_clears(self):
+        tracer = Tracer()
+        sink = InMemorySink()
+        tracer.add_sink(sink)
+        traced(tracer)
+        assert len(sink) == 3
+        assert all(r["type"] == "span" for r in sink.records())
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlRoundTrip:
+    def test_trace_file_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        with JsonlSink(path, meta={"label": "unit"}) as sink:
+            tracer.add_sink(sink)
+            traced(tracer)
+            registry = MetricsRegistry()
+            registry.counter("epochs").inc(2)
+            sink.write_metrics(registry)
+            sink.write_op_stats([{"name": "matmul", "calls": 4}])
+            tracer.remove_sink(sink)
+
+        records = read_trace(path)
+        header = records[0]
+        assert header["type"] == "trace-meta"
+        assert header["version"] == TRACE_VERSION
+        assert header["label"] == "unit"
+
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["epoch", "epoch", "search"]
+        root = spans[-1]
+        assert root["parent"] is None
+        assert all(s["parent"] == root["id"] for s in spans[:-1])
+        assert spans[0]["attrs"] == {"index": 0}
+
+        metrics = [r for r in records if r["type"] == "metrics"]
+        assert metrics[0]["data"]["counters"]["epochs"]["value"] == 2.0
+        op_stats = [r for r in records if r["type"] == "op_stats"]
+        assert op_stats[0]["data"] == [{"name": "matmul", "calls": 4}]
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        with JsonlSink(path) as sink:
+            tracer.add_sink(sink)
+            traced(tracer)
+            tracer.remove_sink(sink)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestReadTraceValidation:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "id": 0}\n')
+        with pytest.raises(ValueError, match="trace-meta"):
+            read_trace(path)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "trace-meta", "version": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid trace line"):
+            read_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_trace(path)

@@ -65,6 +65,58 @@ class TestCommands:
         assert "Figure 2" in capsys.readouterr().out
 
 
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "search"])
+        assert args.command == "profile"
+        assert args.target == "search"
+        assert args.dataset == "cora"
+        assert args.trace is None
+        assert args.top == 10
+        assert not args.no_autograd
+
+    def test_scale_after_subcommand_does_not_clobber(self):
+        args = build_parser().parse_args(["--scale", "smoke", "profile", "search"])
+        assert args.scale == "smoke"
+        args = build_parser().parse_args(["profile", "search", "--scale", "smoke"])
+        assert args.scale == "smoke"
+
+    def test_profile_search_writes_trace_and_report(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["--scale", "smoke", "profile", "search", "--dataset", "cora",
+             "--layers", "2", "--trace", str(trace), "--top", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "architecture:" in out
+        assert "== Phase breakdown (spans) ==" in out
+        assert "autograd ops (by self time)" in out
+        assert str(trace) in out
+
+        records = read_trace(trace)
+        assert records[0]["type"] == "trace-meta"
+        assert any(r["type"] == "span" for r in records)
+        assert any(r["type"] == "op_stats" for r in records)
+
+    def test_profile_baseline_without_autograd(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["--scale", "smoke", "profile", "baseline", "--name", "gcn",
+             "--dataset", "cora", "--trace", str(trace), "--no-autograd"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gcn on cora" in out
+        assert "== Phase breakdown (spans) ==" in out
+        op_stats = [r for r in read_trace(trace) if r["type"] == "op_stats"]
+        assert op_stats[0]["data"] == []
+
+
 class TestLintCommand:
     def test_parser_accepts_paths_and_format(self):
         args = build_parser().parse_args(["lint", "src/repro", "--format", "json"])
