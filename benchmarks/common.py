@@ -88,6 +88,7 @@ def emit_metrics(name: str, spans=(), metrics: MetricsRegistry | None = None,
     payload = {
         "bench": name,
         "version": TRACE_VERSION,
+        "scale": os.environ.get("REPRO_SCALE", "default"),
         "spans": [
             {
                 "path": agg.path,

@@ -24,6 +24,7 @@ __all__ = [
     "BareExceptRule",
     "MutableDefaultArgRule",
     "AdHocTimingRule",
+    "NakedPrintRule",
     "CORE_RULES",
 ]
 
@@ -420,6 +421,54 @@ class AdHocTimingRule(Rule):
         return "obs" not in rest
 
 
+class NakedPrintRule(Rule):
+    """``print()`` in library code instead of structured output.
+
+    Library modules communicate through return values, the event log
+    (:mod:`repro.obs.events`) and rendered reports — a stray ``print``
+    interleaves with dashboards, corrupts piped output and cannot be
+    captured by callers. Only the designated presentation layers are
+    exempt: the CLI itself and the report renderers of ``repro.obs`` /
+    ``repro.analysis``. Anywhere else the call must go through a
+    reporter or carry a ``# lint: disable=naked-print`` justification.
+    """
+
+    rule_id = "naked-print"
+    severity = Severity.ERROR
+    description = "print() in src/repro outside the CLI and report renderers"
+    node_types = (ast.Call,)
+
+    _EXEMPT = frozenset(
+        {
+            ("cli.py",),
+            ("analysis", "reporters.py"),
+            ("obs", "report.py"),
+            ("obs", "search_report.py"),
+            ("obs", "bench_gate.py"),
+        }
+    )
+
+    def check(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield self.finding(
+                node,
+                ctx,
+                "print() in library code bypasses the reporters; return the "
+                "text, emit an event, or move the call into a renderer",
+            )
+
+    @classmethod
+    def _in_scope(cls, path: str) -> bool:
+        """True inside the ``repro`` package, minus the presentation layer."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = tuple(parts[len(parts) - parts[::-1].index("repro"):])
+        return rest not in cls._EXEMPT
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -430,4 +479,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     BareExceptRule,
     MutableDefaultArgRule,
     AdHocTimingRule,
+    NakedPrintRule,
 )

@@ -9,10 +9,11 @@ Commands
 ``figure``           regenerate a paper figure (2/3/4a/4b)
 ``lint``             static analysis of repo invariants (repro.analysis)
 ``profile``          run search/baseline under the profiler (repro.obs)
+``report``           render telemetry dashboards and the bench gate
 
 All commands take ``--scale smoke|default|full`` (default: value of
-``REPRO_SCALE`` or ``default``) and ``--seed``. ``profile`` also
-accepts them after the subcommand for convenience.
+``REPRO_SCALE`` or ``default``) and ``--seed``, accepted both before
+and after the subcommand.
 """
 
 from __future__ import annotations
@@ -20,9 +21,11 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 from repro.analysis import lint_paths, render_json, render_text
-from repro.obs import ProfileSession
+from repro.obs import ProfileSession, record_events, render_diff, render_run
+from repro.obs.bench_gate import compare_bench, load_bench, render_bench_diff
 from repro.experiments import (
     SCALES,
     run_figure2,
@@ -59,6 +62,19 @@ _FIGURE_RUNNERS = {
 }
 
 
+def _add_common_options(*parsers) -> None:
+    """Accept ``--scale``/``--seed`` after a subcommand too.
+
+    SUPPRESS keeps an absent flag from clobbering the top-level value
+    already parsed, so both positions work and the later one wins.
+    """
+    for sub in parsers:
+        sub.add_argument(
+            "--scale", choices=sorted(SCALES), default=argparse.SUPPRESS
+        )
+        sub.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -74,12 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("stats", help="dataset statistics (Tables IV/V)")
+    stats = commands.add_parser("stats", help="dataset statistics (Tables IV/V)")
 
     search = commands.add_parser("search", help="run SANE on one dataset")
     search.add_argument("dataset", choices=ALL_DATASETS)
     search.add_argument("--layers", type=int, default=3)
     search.add_argument("--epsilon", type=float, default=0.0)
+    search.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record search-dynamics telemetry to this events JSONL file",
+    )
 
     baseline = commands.add_parser("baseline", help="train a human baseline")
     baseline.add_argument("name", help="e.g. gcn, gat-jk, lgcn")
@@ -130,13 +152,66 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip per-op autograd profiling (spans only)",
     )
-    # Accepted after the subcommand too; SUPPRESS keeps an absent flag
-    # from clobbering the top-level value already parsed.
     profile.add_argument(
-        "--scale", choices=sorted(SCALES), default=argparse.SUPPRESS
+        "--events",
+        action="store_true",
+        help="interleave telemetry events into the trace file",
     )
-    profile.add_argument("--seed", type=int, default=argparse.SUPPRESS)
 
+    report = commands.add_parser(
+        "report", help="telemetry dashboards and the bench regression gate"
+    )
+    views = report.add_subparsers(dest="view", required=True)
+    report_run = views.add_parser(
+        "run", help="render one recorded run's search-dynamics dashboard"
+    )
+    report_run.add_argument("events", help="events/trace JSONL file")
+    report_diff = views.add_parser(
+        "diff", help="compare two recorded runs (genotype, curves, hotspots)"
+    )
+    report_diff.add_argument("a", help="events/trace JSONL file (baseline)")
+    report_diff.add_argument("b", help="events/trace JSONL file (candidate)")
+    report_bench = views.add_parser(
+        "bench", help="gate fresh BENCH_*.json files against committed baselines"
+    )
+    report_bench.add_argument(
+        "files",
+        nargs="*",
+        help="fresh BENCH_<name>.json files (default: every baseline's "
+        "counterpart in --bench-dir)",
+    )
+    report_bench.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="directory of committed baseline BENCH_<name>.json files",
+    )
+    report_bench.add_argument(
+        "--bench-dir",
+        default=None,
+        help="directory of fresh bench output (default: REPRO_BENCH_DIR or .)",
+    )
+    report_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="relative degradation allowed for score-like metrics",
+    )
+    report_bench.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.5,
+        help="relative degradation allowed for wall-clock metrics",
+    )
+    report_bench.add_argument(
+        "--gate-spans",
+        action="store_true",
+        help="also gate per-phase span timings (noisy across machines)",
+    )
+
+    _add_common_options(
+        stats, search, baseline, table, figure, lint, profile,
+        report, report_run, report_diff, report_bench,
+    )
     return parser
 
 
@@ -155,6 +230,9 @@ def main(argv: list[str] | None = None) -> int:
         print(render(result))
         return 1 if result.error_count else 0
 
+    if args.command == "report":
+        return _run_report(args)
+
     scale = SCALES[args.scale]
 
     if args.command == "profile":
@@ -166,12 +244,24 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "search":
         data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
-        run = run_sane(
-            data, scale, seed=args.seed, num_layers=args.layers, epsilon=args.epsilon
-        )
+        if args.events:
+            with record_events(
+                args.events, label=f"search:{args.dataset}", spans=True
+            ):
+                run = run_sane(
+                    data, scale, seed=args.seed,
+                    num_layers=args.layers, epsilon=args.epsilon,
+                )
+        else:
+            run = run_sane(
+                data, scale, seed=args.seed,
+                num_layers=args.layers, epsilon=args.epsilon,
+            )
         print(f"architecture: {run.architecture}")
         print(f"search time:  {run.search_time:.1f}s")
         print(f"test score:   {format_mean_std(run.test_scores)}")
+        if args.events:
+            print(f"events:       {args.events} (render with `repro report run`)")
         return 0
 
     if args.command == "baseline":
@@ -199,13 +289,103 @@ def main(argv: list[str] | None = None) -> int:
     return 1  # unreachable: argparse enforces a command
 
 
+def _run_report(args) -> int:
+    """``repro report``: run/diff dashboards and the bench gate."""
+    if args.view == "run":
+        try:
+            print(render_run(args.events))
+        except (OSError, ValueError) as exc:
+            print(f"repro report run: error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.view == "diff":
+        try:
+            print(render_diff(args.a, args.b))
+        except (OSError, ValueError) as exc:
+            print(f"repro report diff: error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    return _run_report_bench(args)
+
+
+def _run_report_bench(args) -> int:
+    """Gate fresh BENCH_*.json files against committed baselines."""
+    baseline_dir = Path(args.baselines)
+    bench_dir = Path(args.bench_dir or os.environ.get("REPRO_BENCH_DIR", "."))
+    if not baseline_dir.is_dir():
+        print(
+            f"repro report bench: error: no baseline directory {baseline_dir}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.files:
+        # Explicit fresh files; each pairs with the same-named baseline.
+        pairs = [(baseline_dir / Path(f).name, Path(f)) for f in args.files]
+    else:
+        pairs = [
+            (base, bench_dir / base.name)
+            for base in sorted(baseline_dir.glob("BENCH_*.json"))
+        ]
+        if not pairs:
+            print(
+                f"repro report bench: error: no BENCH_*.json baselines "
+                f"in {baseline_dir}",
+                file=sys.stderr,
+            )
+            return 2
+
+    failed = False
+    for baseline_path, fresh_path in pairs:
+        name = fresh_path.name
+        if not baseline_path.exists():
+            print(f"== Bench {name}: no baseline ({baseline_path}) — skipped ==")
+            print()
+            continue
+        baseline = load_bench(baseline_path)
+        if not fresh_path.exists():
+            print(
+                f"== Bench {name}: REGRESSION (fresh results missing: "
+                f"{fresh_path}) =="
+            )
+            print()
+            failed = True
+            continue
+        current = load_bench(fresh_path)
+        notes = []
+        base_scale = baseline.get("scale")
+        cur_scale = current.get("scale")
+        if base_scale != cur_scale:
+            notes.append(
+                f"scale mismatch: baseline={base_scale!r} current={cur_scale!r}"
+                " — deltas are not comparable"
+            )
+        deltas = compare_bench(
+            baseline,
+            current,
+            tolerance=args.tolerance,
+            time_tolerance=args.time_tolerance,
+            gate_spans=args.gate_spans,
+        )
+        print(render_bench_diff(name, deltas, notes=notes))
+        print()
+        if any(delta.gates for delta in deltas):
+            failed = True
+    return 1 if failed else 0
+
+
 def _run_profile(args, scale) -> int:
     """``repro profile``: wrap search/baseline in a ProfileSession."""
     trace_path = args.trace or f"trace-{args.target}-{args.dataset}.jsonl"
     data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
     label = f"{args.target}:{args.dataset}"
     with ProfileSession(
-        trace_path=trace_path, autograd=not args.no_autograd, label=label
+        trace_path=trace_path,
+        autograd=not args.no_autograd,
+        label=label,
+        events=args.events,
     ) as session:
         if args.target == "search":
             run = run_sane(

@@ -23,6 +23,8 @@ import numpy as np
 from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
+from repro.obs import events
+from repro.obs.search_telemetry import SearchTelemetry, grad_l2_norm
 from repro.core.search_space import Architecture, SearchSpace
 from repro.core.supernet import SaneSupernet
 from repro.graph.data import Graph, MultiGraphDataset
@@ -181,31 +183,65 @@ class SaneSearcher:
         """Run the search loop and return the derived architecture."""
         history: list[tuple[float, float]] = []
         snapshots: list[dict[str, np.ndarray]] = []
+        telemetry = SearchTelemetry(self.space)
+        telemetry.search_start(
+            mode=self._mode,
+            seed=self.seed,
+            epochs=self.config.epochs,
+            hidden_dim=self.config.hidden_dim,
+            w_lr=self.config.w_lr,
+            alpha_lr=self.config.alpha_lr,
+            epsilon=self.config.epsilon,
+            xi=self.config.xi,
+        )
         search_span = obs.span(
             "search", kind="search", algo="sane", mode=self._mode
         ).start()
         for epoch in range(self.config.epochs):
             with obs.span("epoch", index=epoch):
                 with obs.span("alpha_step"):
-                    self._alpha_step()
+                    val_loss = self._alpha_step()
+                # Telemetry-only reads of the post-clip gradients: pure
+                # numpy reductions, skipped entirely unless recording,
+                # so the seeded search stream is untouched either way.
+                arch_grad_norm = (
+                    grad_l2_norm(self.supernet.arch_parameters())
+                    if events.enabled()
+                    else None
+                )
                 with obs.span("weight_step"):
-                    self._weight_step()
+                    train_loss = self._weight_step()
+                weight_grad_norm = (
+                    grad_l2_norm(self.supernet.weight_parameters())
+                    if events.enabled()
+                    else None
+                )
                 if self._w_scheduler is not None:
                     self._w_scheduler.step()
                 elapsed = search_span.elapsed()
                 with obs.span("validation"):
                     score = self.validation_score()
                 history.append((elapsed, score))
-                snapshots.append(
-                    {
-                        "node": self.supernet.alpha_node.data.copy(),
-                        "skip": self.supernet.alpha_skip.data.copy(),
-                        "layer": self.supernet.alpha_layer.data.copy(),
-                    }
+                snapshot = {
+                    "node": self.supernet.alpha_node.data.copy(),
+                    "skip": self.supernet.alpha_skip.data.copy(),
+                    "layer": self.supernet.alpha_layer.data.copy(),
+                }
+                snapshots.append(snapshot)
+                telemetry.epoch(
+                    epoch,
+                    snapshot,
+                    val_score=score,
+                    train_loss=train_loss,
+                    val_loss=val_loss,
+                    arch_grad_norm=arch_grad_norm,
+                    weight_grad_norm=weight_grad_norm,
                 )
         search_span.finish()
+        architecture = self.supernet.derive(self._rng)
+        telemetry.search_end(epochs=self.config.epochs, architecture=architecture)
         return SearchResult(
-            architecture=self.supernet.derive(self._rng),
+            architecture=architecture,
             search_time=search_span.duration,
             history=history,
             supernet=self.supernet,
@@ -215,24 +251,28 @@ class SaneSearcher:
     # ------------------------------------------------------------------
     # the two halves of one Algorithm-1 iteration
     # ------------------------------------------------------------------
-    def _alpha_step(self) -> None:
+    def _alpha_step(self) -> float | None:
         """Update alpha by descending the validation loss (line 3).
 
         With ``xi = 0`` this is the first-order approximation the paper
         uses; with ``xi > 0`` the validation gradient is taken at the
         virtually-updated weights ``w' = w - xi * grad_w L_tra`` and the
         implicit term is estimated with the standard finite-difference
-        Hessian-vector product.
+        Hessian-vector product. Returns the validation loss (first-order
+        mode only) for the epoch-metrics telemetry.
         """
         self.supernet.train()
+        val_loss = None
         if self.config.xi <= 0.0:
             self.supernet.zero_grad()
             loss = self._loss("val")
             loss.backward()
+            val_loss = loss.item()
         else:
             self._second_order_alpha_grads()
         clip_grad_norm(self.supernet.arch_parameters(), self.config.grad_clip)
         self._alpha_optimizer.step()
+        return val_loss
 
     def _second_order_alpha_grads(self) -> None:
         """Populate alpha grads with the xi > 0 update of Eq. 8."""
@@ -294,7 +334,7 @@ class SaneSearcher:
             hessian_term = (plus - minus) / (2.0 * eps)
             alpha.grad = first - xi * hessian_term
 
-    def _weight_step(self) -> None:
+    def _weight_step(self) -> float:
         """Update w by descending the training loss (line 5)."""
         self.supernet.train()
         self.supernet.zero_grad()
@@ -302,6 +342,7 @@ class SaneSearcher:
         loss.backward()
         clip_grad_norm(self.supernet.weight_parameters(), self.config.grad_clip)
         self._w_optimizer.step()
+        return loss.item()
 
     def _loss(self, split: str):
         if self._mode == "transductive":

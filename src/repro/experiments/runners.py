@@ -31,6 +31,7 @@ from repro.nas.evaluation import ArchitectureEvaluator, build_spec_model
 from repro.nas.graphnas import graphnas_search
 from repro.nas.random_search import SearchOutcome, random_search
 from repro.nas.tpe import tpe_search
+from repro.obs import events
 from repro.train.trainer import TrainConfig, fit
 
 __all__ = [
@@ -171,8 +172,21 @@ def run_sane(
                 train_config=settings.train_config,
             )
             candidates.append((probe.val_score, arch))
+            events.emit(
+                "candidate_probe",
+                search_seed=seed + search_seed,
+                architecture=str(arch),
+                val_score=probe.val_score,
+                test_score=probe.test_score,
+            )
     candidates.sort(key=lambda item: -item[0])
     best_arch = candidates[0][1]
+    events.emit(
+        "sane_selected",
+        architecture=str(best_arch),
+        val_score=candidates[0][0],
+        candidates=len(candidates),
+    )
 
     val_scores, test_scores = [], []
     for repeat in range(scale.repeats):

@@ -1,7 +1,7 @@
-"""Observability: tracing, metrics, and autograd profiling.
+"""Observability: tracing, metrics, autograd profiling, and telemetry.
 
-The subsystem the efficiency experiments (Figure 3 / Table VII) lean
-on: *where does search time go?* It has four parts —
+The subsystem the efficiency experiments (Figure 3 / Table VII) and
+the search-dynamics reports lean on. It has six parts —
 
 * :mod:`repro.obs.spans` — nested wall-time spans via a process-wide
   :class:`Tracer`; all ``search_time``/``train_time`` numbers in the
@@ -12,20 +12,39 @@ on: *where does search time go?* It has four parts —
 * :mod:`repro.obs.sinks` + :mod:`repro.obs.report` — in-memory and
   JSON-lines trace sinks, and the hotspot report over a finished trace;
 * :mod:`repro.obs.autograd` — per-op profiling hooked into the
-  autograd tape dispatch (zero overhead while disabled).
+  autograd tape dispatch (zero overhead while disabled);
+* :mod:`repro.obs.events` + :mod:`repro.obs.search_telemetry` — the v1
+  structured event log (alpha snapshots, entropies, genotype flips,
+  loss/score curves) the searchers and trainers emit into; a no-op
+  unless an :class:`EventRecorder` is installed;
+* :mod:`repro.obs.search_report` + :mod:`repro.obs.bench_gate` — the
+  ``repro report run``/``diff``/``bench`` renderers.
 
-:class:`ProfileSession` bundles all of it for ``repro profile``::
+:class:`ProfileSession` bundles the profiling side for ``repro
+profile``::
 
     from repro import obs
 
     with obs.ProfileSession(trace_path="trace.jsonl") as session:
         run_search()
     print(session.report())
+
+and :func:`record_events` captures telemetry::
+
+    with obs.record_events("events.jsonl", label="search:cora"):
+        run_search()
 """
 
 from repro.obs.autograd import AutogradProfiler, OpStats, profile_autograd
+from repro.obs.events import (
+    EVENTS_VERSION,
+    EventRecorder,
+    record_events,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import SpanAggregate, aggregate_spans, hotspot_report
+from repro.obs.report import SpanAggregate, aggregate_spans, format_table, hotspot_report
+from repro.obs.search_report import render_diff, render_run
+from repro.obs.search_telemetry import SearchTelemetry
 from repro.obs.session import ProfileSession
 from repro.obs.sinks import TRACE_VERSION, InMemorySink, JsonlSink, read_trace
 from repro.obs.spans import Span, Tracer, get_tracer, span
@@ -45,9 +64,16 @@ __all__ = [
     "TRACE_VERSION",
     "SpanAggregate",
     "aggregate_spans",
+    "format_table",
     "hotspot_report",
     "AutogradProfiler",
     "OpStats",
     "profile_autograd",
     "ProfileSession",
+    "EVENTS_VERSION",
+    "EventRecorder",
+    "record_events",
+    "SearchTelemetry",
+    "render_run",
+    "render_diff",
 ]

@@ -1,0 +1,195 @@
+"""Benchmark regression gate (``repro report bench``).
+
+Compares freshly emitted ``BENCH_<name>.json`` summaries (written by
+``benchmarks/common.py::tracked_run``) against committed baselines and
+flags metrics that degraded beyond a relative tolerance. Direction is
+inferred from the metric name — ``*time*``/``*loss*`` tokens are
+lower-is-better, ``*score*``/``*speedup*`` higher-is-better; metrics
+with no recognised token are reported but never gate.
+
+Wall-clock metrics are machine-dependent, so they get their own
+(looser) tolerance, and span timings are only gated when explicitly
+asked for (``--gate-spans``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from pathlib import Path
+
+from repro.obs.report import format_table
+
+__all__ = [
+    "MetricDelta",
+    "metric_direction",
+    "load_bench",
+    "scalar_metrics",
+    "compare_bench",
+    "render_bench_diff",
+]
+
+_TOKEN_RE = re.compile(r"[._\-/\s]+")
+_LOWER_BETTER = frozenset(
+    {"time", "loss", "seconds", "latency", "duration", "bytes", "memory"}
+)
+_HIGHER_BETTER = frozenset(
+    {"score", "scores", "speedup", "accuracy", "acc", "f1", "auc", "hits", "mrr"}
+)
+
+
+def metric_direction(name: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 unknown (never gates)."""
+    tokens = set(_TOKEN_RE.split(name.lower()))
+    if tokens & _LOWER_BETTER:
+        return -1
+    if tokens & _HIGHER_BETTER:
+        return 1
+    return 0
+
+
+def load_bench(path: str | Path) -> dict:
+    """Parse one ``BENCH_<name>.json`` payload."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "bench" not in payload or "metrics" not in payload:
+        raise ValueError(f"{path}: not a BENCH summary (missing bench/metrics)")
+    return payload
+
+
+def scalar_metrics(payload: dict) -> dict[str, float]:
+    """Flatten a BENCH payload's metrics to name -> scalar.
+
+    Gauges and counters contribute their value, histograms their mean;
+    instrument names are unique across kinds (the registry enforces it).
+    """
+    out: dict[str, float] = {}
+    metrics = payload.get("metrics") or {}
+    for kind, field in (("gauges", "value"), ("counters", "value"),
+                        ("histograms", "mean")):
+        for name, record in (metrics.get(kind) or {}).items():
+            value = record.get(field)
+            if value is not None:
+                out[name] = float(value)
+    return out
+
+
+def span_totals(payload: dict) -> dict[str, float]:
+    """Cumulative seconds per span path from a BENCH payload."""
+    return {
+        row["path"]: float(row["total_s"])
+        for row in payload.get("spans") or []
+        if row.get("total_s") is not None
+    }
+
+
+@dataclasses.dataclass
+class MetricDelta:
+    """One metric compared between a baseline and a fresh run."""
+
+    name: str
+    baseline: float | None
+    current: float | None
+    direction: int
+    rel_change: float | None
+    status: str  # ok | regression | improved | info | missing | new
+
+    @property
+    def gates(self) -> bool:
+        return self.status in ("regression", "missing")
+
+
+def _classify(
+    name: str,
+    baseline: float | None,
+    current: float | None,
+    direction: int,
+    tolerance: float,
+) -> MetricDelta:
+    if baseline is None:
+        return MetricDelta(name, None, current, direction, None, "new")
+    if current is None:
+        return MetricDelta(name, baseline, None, direction, None, "missing")
+    if abs(baseline) > 1e-12:
+        rel = (current - baseline) / abs(baseline)
+    else:
+        rel = 0.0 if current == baseline else float("inf")
+    if direction == 0:
+        status = "info"
+    elif rel * direction < 0 and abs(rel) > tolerance:
+        status = "regression"
+    elif rel * direction > 0 and abs(rel) > tolerance:
+        status = "improved"
+    else:
+        status = "ok"
+    return MetricDelta(name, baseline, current, direction, rel, status)
+
+
+def compare_bench(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.1,
+    time_tolerance: float = 0.5,
+    gate_spans: bool = False,
+) -> list[MetricDelta]:
+    """Per-metric deltas of one bench against its baseline."""
+    base_metrics = scalar_metrics(baseline)
+    cur_metrics = scalar_metrics(current)
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        direction = metric_direction(name)
+        tol = time_tolerance if direction == -1 else tolerance
+        deltas.append(
+            _classify(
+                name, base_metrics.get(name), cur_metrics.get(name),
+                direction, tol,
+            )
+        )
+    if gate_spans:
+        base_spans = span_totals(baseline)
+        cur_spans = span_totals(current)
+        for path in sorted(set(base_spans) & set(cur_spans)):
+            deltas.append(
+                _classify(
+                    f"span:{path}", base_spans[path], cur_spans[path],
+                    -1, time_tolerance,
+                )
+            )
+    return deltas
+
+
+_ARROW = {1: "↑", -1: "↓", 0: "·"}
+
+
+def render_bench_diff(
+    name: str, deltas: list[MetricDelta], notes: list[str] = ()
+) -> str:
+    """One bench's comparison table plus its verdict line."""
+    rows = []
+    for delta in deltas:
+        rel = "-" if delta.rel_change is None else f"{100.0 * delta.rel_change:+.1f}%"
+        rows.append(
+            [
+                delta.name,
+                _ARROW[delta.direction],
+                "-" if delta.baseline is None else f"{delta.baseline:.6g}",
+                "-" if delta.current is None else f"{delta.current:.6g}",
+                rel,
+                delta.status,
+            ]
+        )
+    regressions = sum(1 for d in deltas if d.gates)
+    verdict = "REGRESSION" if regressions else "ok"
+    lines = [f"== Bench {name}: {verdict} ({regressions} gated metric(s)) =="]
+    for note in notes:
+        lines.append(f"note: {note}")
+    if rows:
+        lines.extend(
+            format_table(
+                ["metric", "dir", "baseline", "current", "change", "status"],
+                rows,
+            )
+        )
+    else:
+        lines.append("(no comparable metrics)")
+    return "\n".join(lines)

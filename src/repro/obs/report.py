@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 
-__all__ = ["SpanAggregate", "aggregate_spans", "hotspot_report"]
+__all__ = ["SpanAggregate", "aggregate_spans", "format_table", "hotspot_report"]
 
 
 def _as_record(span) -> dict:
@@ -93,7 +93,7 @@ def aggregate_spans(spans) -> list[SpanAggregate]:
     return sorted(aggregates.values(), key=lambda a: (-a.total, a.path))
 
 
-def _format_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+def format_table(headers: list[str], rows: list[list[str]]) -> list[str]:
     """Right-align numbers under left-aligned first column."""
     widths = [len(h) for h in headers]
     for row in rows:
@@ -151,7 +151,7 @@ def hotspot_report(
         ]
         lines = ["== Phase breakdown (spans) =="]
         lines.extend(
-            _format_table(["phase", "count", "cum s", "self s", "mean s"], rows)
+            format_table(["phase", "count", "cum s", "self s", "mean s"], rows)
         )
         sections.append("\n".join(lines))
 
@@ -175,7 +175,7 @@ def hotspot_report(
             )
         lines = [f"== Top {len(ranked)} autograd ops (by self time) =="]
         lines.extend(
-            _format_table(
+            format_table(
                 ["op", "calls", "tape", "fwd self s", "fwd cum s", "bwd s", "out bytes"],
                 rows,
             )

@@ -1,0 +1,396 @@
+"""Text dashboards over a recorded event log (``repro report run/diff``).
+
+Input is an events JSONL file (a v1 trace whose lines carry
+``"type": "event"`` records, optionally interleaved with spans — see
+:mod:`repro.obs.events`). Output is deterministic plain text: with a
+fake clock on the recorder, two seeded runs render byte-identical
+dashboards, which the tier-1 telemetry test locks down.
+
+* :func:`render_run` — one run's dashboard: per-edge entropy sparkline
+  table, genotype-flip timeline, convergence summary, metric curves;
+* :func:`render_diff` — two runs compared: final genotype, convergence
+  epoch, score curves, and (when span records are present in both
+  files) hotspot deltas via the PR-2 span aggregation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.obs.report import aggregate_spans, format_table
+from repro.obs.sinks import read_trace
+
+__all__ = ["SearchRun", "load_run_records", "split_searches", "render_run", "render_diff"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_SPARK_WIDTH = 32
+
+
+def _sparkline(values: list[float]) -> str:
+    """Unicode trend line, downsampled to at most ``_SPARK_WIDTH`` cells."""
+    if not values:
+        return ""
+    if len(values) > _SPARK_WIDTH:
+        step = (len(values) - 1) / (_SPARK_WIDTH - 1)
+        values = [values[round(i * step)] for i in range(_SPARK_WIDTH)]
+    low, high = min(values), max(values)
+    if high - low < 1e-12:
+        return _SPARK[0] * len(values)
+    scale = (len(_SPARK) - 1) / (high - low)
+    return "".join(_SPARK[int((v - low) * scale)] for v in values)
+
+
+def _num(value, digits: int = 4) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+@dataclasses.dataclass
+class SearchRun:
+    """One ``search_start`` .. ``search_end`` block of an event log."""
+
+    meta: dict = dataclasses.field(default_factory=dict)
+    start_t: float | None = None
+    end_t: float | None = None
+    epochs: dict[int, dict] = dataclasses.field(default_factory=dict)
+    entropy: dict[str, list[float]] = dataclasses.field(default_factory=dict)
+    flips: list[dict] = dataclasses.field(default_factory=list)
+    initial_genotype: dict | None = None
+    last_genotype: dict | None = None
+    final_architecture: dict | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def convergence_epoch(self) -> int | None:
+        """Epoch of the last argmax genotype flip (0 when it never flips)."""
+        if not self.epochs:
+            return None
+        if not self.flips:
+            return 0
+        return max(flip["epoch"] for flip in self.flips)
+
+    @property
+    def wall_time(self) -> float | None:
+        if self.start_t is None or self.end_t is None:
+            return None
+        return self.end_t - self.start_t
+
+    def metric_series(self, name: str) -> list[tuple[int, float]]:
+        return [
+            (epoch, payload[name])
+            for epoch, payload in sorted(self.epochs.items())
+            if name in payload
+        ]
+
+    def final_metric(self, name: str):
+        series = self.metric_series(name)
+        return series[-1][1] if series else None
+
+    def final_genotype(self) -> dict | None:
+        if self.final_architecture is not None:
+            return self.final_architecture
+        return self.last_genotype
+
+
+def _describe(genotype: dict | None) -> str:
+    if genotype is None:
+        return "(unknown)"
+    aggs = " -> ".join(genotype["node"])
+    skips = "".join("I" if s == "identity" else "Z" for s in genotype["skip"])
+    return f"{aggs} | skips={skips} | jk={genotype['layer']}"
+
+
+def load_run_records(path: str | Path) -> tuple[list[dict], list[dict]]:
+    """(event records, all records) of one events/trace JSONL file."""
+    records = read_trace(path)
+    return [r for r in records if r.get("type") == "event"], records
+
+
+def split_searches(event_records: list[dict]) -> list[SearchRun]:
+    """Group a flat event stream into per-search runs.
+
+    Events outside any ``search_start``..``search_end`` block (training
+    runs, candidate probes) are ignored here; callers summarise them
+    separately.
+    """
+    runs: list[SearchRun] = []
+    current: SearchRun | None = None
+    for record in event_records:
+        name = record["event"]
+        data = record.get("data", {})
+        if name == "search_start":
+            current = SearchRun(meta=data, start_t=record.get("t"))
+            runs.append(current)
+            continue
+        if current is None:
+            continue
+        epoch = record.get("epoch")
+        if name == "alpha_snapshot" and epoch is not None:
+            for kind, rows in (data.get("entropy") or {}).items():
+                for index, value in enumerate(rows):
+                    series = current.entropy.setdefault(f"{kind}/{index}", [])
+                    series.append(float(value))
+            current.epochs.setdefault(epoch, {})
+        elif name == "epoch_metrics" and epoch is not None:
+            current.epochs.setdefault(epoch, {}).update(data)
+        elif name == "genotype":
+            current.initial_genotype = data.get("genotype")
+            current.last_genotype = data.get("genotype")
+        elif name == "genotype_flip":
+            for flip in data.get("flips", []):
+                current.flips.append({"epoch": epoch, **flip})
+            current.last_genotype = data.get("genotype", current.last_genotype)
+        elif name == "search_end":
+            current.final_architecture = data.get("architecture")
+            current.end_t = record.get("t")
+            current = None
+    return runs
+
+
+# ---------------------------------------------------------------------
+# report run
+# ---------------------------------------------------------------------
+def _render_search_section(run: SearchRun, index: int) -> list[str]:
+    meta = run.meta
+    header = (
+        f"-- search {index}: mode={meta.get('mode', '?')} "
+        f"seed={meta.get('seed', '?')} epochs={run.num_epochs}"
+    )
+    if run.wall_time is not None:
+        header += f" wall={run.wall_time:.2f}s"
+    header += " --"
+    lines = [header]
+    lines.append(f"final genotype: {_describe(run.final_genotype())}")
+    convergence = run.convergence_epoch
+    if convergence is not None and run.num_epochs:
+        last_epoch = max(run.epochs)
+        stable_for = last_epoch - convergence
+        lines.append(
+            f"genotype flips: {len(run.flips)} "
+            f"(argmax stable since epoch {convergence}, "
+            f"{stable_for} epoch(s) unchanged)"
+        )
+
+    if run.entropy:
+        rows = []
+        for edge in sorted(run.entropy, key=_edge_sort_key):
+            series = run.entropy[edge]
+            rows.append(
+                [edge, _num(series[0]), _num(series[-1]), _sparkline(series)]
+            )
+        lines.append("")
+        lines.append("per-edge entropy (nats):")
+        lines.extend(format_table(["edge", "first", "last", "trend"], rows))
+
+    lines.append("")
+    if run.flips:
+        lines.append("genotype flip timeline:")
+        rows = [
+            [f"epoch {flip['epoch']}", flip["edge"], f"{flip['from']} -> {flip['to']}"]
+            for flip in run.flips
+        ]
+        lines.extend(format_table(["when", "edge", "change"], rows))
+    else:
+        lines.append("genotype flip timeline: (no flips; argmax stable from epoch 0)")
+
+    curve_rows = _curve_rows(run)
+    if curve_rows:
+        lines.append("")
+        lines.append("curves:")
+        lines.extend(
+            format_table(
+                ["epoch", "train_loss", "val_loss", "val_score",
+                 "|g_alpha|", "|g_w|"],
+                curve_rows,
+            )
+        )
+    return lines
+
+
+def _edge_sort_key(edge: str) -> tuple[int, int]:
+    kind, __, index = edge.partition("/")
+    order = {"node": 0, "skip": 1, "layer": 2}
+    return (order.get(kind, 3), int(index or 0))
+
+
+def _curve_rows(run: SearchRun, max_rows: int = 20) -> list[list[str]]:
+    epochs = sorted(run.epochs)
+    if not epochs:
+        return []
+    if len(epochs) > max_rows:
+        head = epochs[: max_rows // 2]
+        tail = epochs[-(max_rows - len(head)) :]
+        shown: list[int | None] = [*head, None, *tail]
+    else:
+        shown = list(epochs)
+    rows: list[list[str]] = []
+    for epoch in shown:
+        if epoch is None:
+            rows.append(["...", "", "", "", "", ""])
+            continue
+        payload = run.epochs[epoch]
+        rows.append(
+            [
+                str(epoch),
+                _num(payload.get("train_loss")),
+                _num(payload.get("val_loss")),
+                _num(payload.get("val_score")),
+                _num(payload.get("arch_grad_norm")),
+                _num(payload.get("weight_grad_norm")),
+            ]
+        )
+    return rows
+
+
+def render_run(path: str | Path) -> str:
+    """The ``repro report run`` dashboard for one events file."""
+    event_records, all_records = load_run_records(path)
+    label = all_records[0].get("label", "run")
+    runs = split_searches(event_records)
+    train_runs = sum(1 for r in event_records if r["event"] == "train_start")
+    span_count = sum(1 for r in all_records if r.get("type") == "span")
+
+    lines = [f"== Search telemetry: {label} =="]
+    summary = (
+        f"searches: {len(runs)}, training runs: {train_runs}, "
+        f"events: {len(event_records)}"
+    )
+    if span_count:
+        summary += f", spans: {span_count}"
+    lines.append(summary)
+    if not runs:
+        lines.append("(no search_start events recorded)")
+        return "\n".join(lines)
+    for index, run in enumerate(runs, start=1):
+        lines.append("")
+        lines.extend(_render_search_section(run, index))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# report diff
+# ---------------------------------------------------------------------
+def render_diff(path_a: str | Path, path_b: str | Path) -> str:
+    """Compare two recorded runs (first search block of each file)."""
+    events_a, records_a = load_run_records(path_a)
+    events_b, records_b = load_run_records(path_b)
+    label_a = records_a[0].get("label", "a")
+    label_b = records_b[0].get("label", "b")
+    if label_a == label_b:
+        label_a, label_b = f"{label_a} (a)", f"{label_b} (b)"
+    runs_a = split_searches(events_a)
+    runs_b = split_searches(events_b)
+
+    lines = [f"== Run diff: {label_a} vs {label_b} =="]
+    if not runs_a or not runs_b:
+        missing = label_a if not runs_a else label_b
+        lines.append(f"(no search events recorded in {missing})")
+        return "\n".join(lines)
+    a, b = runs_a[0], runs_b[0]
+
+    genotype_a, genotype_b = a.final_genotype(), b.final_genotype()
+    if genotype_a == genotype_b:
+        lines.append(f"final genotype: identical — {_describe(genotype_a)}")
+    else:
+        lines.append("final genotype: DIFFERS")
+        lines.append(f"  {label_a}: {_describe(genotype_a)}")
+        lines.append(f"  {label_b}: {_describe(genotype_b)}")
+        if genotype_a is not None and genotype_b is not None:
+            from repro.obs.search_telemetry import genotype_flips
+
+            for flip in genotype_flips(genotype_a, genotype_b):
+                lines.append(
+                    f"  {flip['edge']}: {flip['from']} -> {flip['to']}"
+                )
+
+    rows = []
+    for name, getter in (
+        ("epochs", lambda r: r.num_epochs),
+        ("convergence epoch", lambda r: r.convergence_epoch),
+        ("genotype flips", lambda r: len(r.flips)),
+        ("final val_score", lambda r: _num(r.final_metric("val_score"))),
+        ("final train_loss", lambda r: _num(r.final_metric("train_loss"))),
+        ("final val_loss", lambda r: _num(r.final_metric("val_loss"))),
+        ("mean final entropy", lambda r: _num(_mean_final_entropy(r))),
+    ):
+        rows.append([name, str(getter(a)), str(getter(b))])
+    lines.append("")
+    lines.extend(format_table(["quantity", label_a, label_b], rows))
+
+    curve_lines = _score_curve_diff(a, b, label_a, label_b)
+    if curve_lines:
+        lines.append("")
+        lines.extend(curve_lines)
+
+    hotspot_lines = _hotspot_deltas(records_a, records_b, label_a, label_b)
+    if hotspot_lines:
+        lines.append("")
+        lines.extend(hotspot_lines)
+    return "\n".join(lines)
+
+
+def _mean_final_entropy(run: SearchRun) -> float | None:
+    finals = [series[-1] for series in run.entropy.values() if series]
+    if not finals:
+        return None
+    return sum(finals) / len(finals)
+
+
+def _score_curve_diff(
+    a: SearchRun, b: SearchRun, label_a: str, label_b: str
+) -> list[str]:
+    series_a = dict(a.metric_series("val_score"))
+    series_b = dict(b.metric_series("val_score"))
+    shared = sorted(set(series_a) & set(series_b))
+    if not shared:
+        return []
+    picks = sorted({shared[0], shared[len(shared) // 2], shared[-1]})
+    rows = []
+    for epoch in picks:
+        delta = series_b[epoch] - series_a[epoch]
+        rows.append(
+            [str(epoch), _num(series_a[epoch]), _num(series_b[epoch]),
+             f"{delta:+.4f}"]
+        )
+    lines = ["val_score curve (first/mid/last shared epoch):"]
+    lines.extend(format_table(["epoch", label_a, label_b, "delta"], rows))
+    return lines
+
+
+def _hotspot_deltas(
+    records_a: list[dict],
+    records_b: list[dict],
+    label_a: str,
+    label_b: str,
+    top: int = 8,
+) -> list[str]:
+    spans_a = [r for r in records_a if r.get("type") == "span"]
+    spans_b = [r for r in records_b if r.get("type") == "span"]
+    if not spans_a or not spans_b:
+        return []
+    totals_a = {agg.path: agg.total for agg in aggregate_spans(spans_a)}
+    totals_b = {agg.path: agg.total for agg in aggregate_spans(spans_b)}
+    shared = sorted(
+        set(totals_a) & set(totals_b),
+        key=lambda path: -abs(totals_b[path] - totals_a[path]),
+    )
+    if not shared:
+        return []
+    rows = []
+    for path in shared[:top]:
+        delta = totals_b[path] - totals_a[path]
+        base = totals_a[path]
+        pct = f"{100.0 * delta / base:+.1f}%" if base > 1e-12 else "n/a"
+        rows.append(
+            [path, _num(totals_a[path]), _num(totals_b[path]),
+             f"{delta:+.4f}", pct]
+        )
+    lines = [f"hotspot deltas (cumulative seconds, {label_b} - {label_a}):"]
+    lines.extend(
+        format_table(["phase", label_a, label_b, "delta", "pct"], rows)
+    )
+    return lines

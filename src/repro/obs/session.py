@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.obs import events as events_mod
 from repro.obs.autograd import AutogradProfiler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import hotspot_report
@@ -28,7 +29,14 @@ __all__ = ["ProfileSession"]
 
 
 class ProfileSession:
-    """Profile everything that happens inside a ``with`` block."""
+    """Profile everything that happens inside a ``with`` block.
+
+    With ``events=True`` (requires ``trace_path``) an
+    :class:`~repro.obs.events.EventRecorder` sharing the trace's JSONL
+    sink is installed for the block, so search/training telemetry
+    events interleave with the span records in one file — which
+    ``repro report run`` and ``report diff`` can then consume directly.
+    """
 
     def __init__(
         self,
@@ -36,6 +44,7 @@ class ProfileSession:
         autograd: bool = True,
         label: str = "profile",
         tracer: Tracer | None = None,
+        events: bool = False,
     ):
         self.tracer = tracer or get_tracer()
         self.trace_path = Path(trace_path) if trace_path else None
@@ -43,6 +52,10 @@ class ProfileSession:
         self.metrics = MetricsRegistry()
         self.memory = InMemorySink()
         self.profiler = AutogradProfiler(clock=self.tracer.clock) if autograd else None
+        if events and self.trace_path is None:
+            raise ValueError("events=True requires a trace_path to write to")
+        self._events = events
+        self.recorder = None
         self._jsonl: JsonlSink | None = None
         self._root = None
 
@@ -50,8 +63,16 @@ class ProfileSession:
     def __enter__(self) -> "ProfileSession":
         self.tracer.add_sink(self.memory)
         if self.trace_path is not None:
-            self._jsonl = JsonlSink(self.trace_path, meta={"label": self.label})
+            meta = {"label": self.label}
+            if self._events:
+                meta["events_version"] = events_mod.EVENTS_VERSION
+            self._jsonl = JsonlSink(self.trace_path, meta=meta)
             self.tracer.add_sink(self._jsonl)
+        if self._events:
+            self.recorder = events_mod.EventRecorder(
+                label=self.label, clock=self.tracer.clock, sink=self._jsonl
+            )
+            events_mod.install(self.recorder)
         if self.profiler is not None:
             self.profiler.install()
         self._root = self.tracer.span(self.label, kind="profile").start()
@@ -61,6 +82,9 @@ class ProfileSession:
         self._root.finish()
         if self.profiler is not None:
             self.profiler.uninstall()
+        if self.recorder is not None:
+            events_mod.uninstall(self.recorder)
+            self.recorder = None
         if self._jsonl is not None:
             self._jsonl.write_op_stats(self.op_stats())
             self._jsonl.write_metrics(self.metrics)

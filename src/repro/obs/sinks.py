@@ -62,19 +62,20 @@ class JsonlSink:
         header = {"type": "trace-meta", "version": TRACE_VERSION}
         if meta:
             header.update(meta)
-        self._write(header)
+        self.write_record(header)
 
-    def _write(self, record: dict) -> None:
+    def write_record(self, record: dict) -> None:
+        """Append one arbitrary trace record (used by the event log)."""
         self._file.write(json.dumps(record, sort_keys=True) + "\n")
 
     def record(self, span: Span) -> None:
-        self._write(span.to_dict())
+        self.write_record(span.to_dict())
 
     def write_metrics(self, registry: MetricsRegistry) -> None:
-        self._write({"type": "metrics", "data": registry.snapshot()})
+        self.write_record({"type": "metrics", "data": registry.snapshot()})
 
     def write_op_stats(self, op_stats: list[dict]) -> None:
-        self._write({"type": "op_stats", "data": op_stats})
+        self.write_record({"type": "op_stats", "data": op_stats})
 
     def close(self) -> None:
         if not self._file.closed:

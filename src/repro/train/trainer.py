@@ -17,6 +17,7 @@ import numpy as np
 from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
+from repro.obs import events
 from repro.graph.data import Graph, MultiGraphDataset
 from repro.gnn.common import GraphCache
 from repro.nn.module import Module
@@ -75,6 +76,7 @@ def train_transductive(
     best = {"val": -1.0, "test": 0.0, "train": 0.0, "epoch": 0, "state": None}
     best_val_loss = np.inf
     history: list[tuple[float, float]] = []
+    events.emit("train_start", mode="transductive", epochs=config.epochs)
     train_span = obs.span("train", kind="train", mode="transductive").start()
     since_best = 0
     for epoch in range(config.epochs):
@@ -98,6 +100,13 @@ def train_transductive(
             eval_logits = eval_logits_t.numpy()
             val_score = accuracy(eval_logits, labels, val_mask)
             history.append((loss.item(), val_score))
+            events.emit(
+                "train_epoch",
+                epoch=epoch,
+                train_loss=loss.item(),
+                val_loss=val_loss,
+                val_score=val_score,
+            )
             # Tie-break equal scores by validation loss so early stopping is
             # not fooled by long plateaus (e.g. an all-negative start).
             improved = val_score > best["val"] or (
@@ -121,6 +130,13 @@ def train_transductive(
     if best["state"] is not None:
         model.load_state_dict(best["state"])
     train_span.finish()
+    events.emit(
+        "train_end",
+        best_epoch=best["epoch"],
+        val_score=best["val"],
+        test_score=best["test"],
+        epochs_run=len(history),
+    )
     return TrainResult(
         val_score=best["val"],
         test_score=best["test"],
@@ -142,6 +158,7 @@ def train_inductive(
     best = {"val": -1.0, "test": 0.0, "train": 0.0, "epoch": 0, "state": None}
     best_val_loss = np.inf
     history: list[tuple[float, float]] = []
+    events.emit("train_start", mode="inductive", epochs=config.epochs)
     train_span = obs.span("train", kind="train", mode="inductive").start()
     since_best = 0
     for epoch in range(config.epochs):
@@ -164,6 +181,13 @@ def train_inductive(
             with obs.span("eval"):
                 val_score, val_loss = _score_graphs(model, dataset.val_graphs, caches)
             history.append((epoch_loss / len(dataset.train_graphs), val_score))
+            events.emit(
+                "train_epoch",
+                epoch=epoch,
+                train_loss=epoch_loss / len(dataset.train_graphs),
+                val_loss=val_loss,
+                val_score=val_score,
+            )
             improved = val_score > best["val"] or (
                 val_score == best["val"] and val_loss < best_val_loss
             )
@@ -185,6 +209,13 @@ def train_inductive(
     if best["state"] is not None:
         model.load_state_dict(best["state"])
     train_span.finish()
+    events.emit(
+        "train_end",
+        best_epoch=best["epoch"],
+        val_score=best["val"],
+        test_score=best["test"],
+        epochs_run=len(history),
+    )
     return TrainResult(
         val_score=best["val"],
         test_score=best["test"],

@@ -337,6 +337,66 @@ class TestAdHocTiming:
         assert [f.rule_id for f in result.suppressed] == ["adhoc-timing"]
 
 
+class TestNakedPrint:
+    LIB_PATH = "src/repro/train/trainer.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_print_in_library_code(self):
+        result = self.run_at(
+            """
+            def fit(model):
+                print("epoch done")
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["naked-print"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_cli_and_report_renderers_are_exempt(self):
+        source = """
+            def main():
+                print("hello")
+            """
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/analysis/reporters.py",
+            "src/repro/obs/report.py",
+            "src/repro/obs/search_report.py",
+            "src/repro/obs/bench_gate.py",
+        ):
+            assert rule_ids(self.run_at(source, path)) == [], path
+
+    def test_outside_repro_package_is_out_of_scope(self):
+        source = 'print("benchmark banner")\n'
+        assert rule_ids(self.run_at(source, "benchmarks/common.py")) == []
+        assert rule_ids(self.run_at(source, "tests/test_cli.py")) == []
+        assert rule_ids(self.run_at(source, "snippet.py")) == []
+
+    def test_method_named_print_is_clean(self):
+        result = self.run_at(
+            """
+            def render(doc):
+                doc.print()
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            print("boot")  # lint: disable=naked-print -- startup banner
+            """,
+            self.LIB_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["naked-print"]
+
+
 class TestSuppression:
     def test_inline_disable_moves_finding_to_suppressed(self):
         result = run(

@@ -16,8 +16,7 @@ def rng():
     return np.random.default_rng(0)
 
 
-@pytest.fixture
-def tiny_graph():
+def _make_tiny_graph() -> Graph:
     """~120-node homophilous citation graph with 60/20/20 masks."""
     generator = np.random.default_rng(7)
     graph = citation_graph(
@@ -32,6 +31,11 @@ def tiny_graph():
         name="tiny",
     )
     return transductive_split(graph, generator)
+
+
+@pytest.fixture
+def tiny_graph():
+    return _make_tiny_graph()
 
 
 @pytest.fixture

@@ -86,6 +86,52 @@ class TestDeriveAt:
         assert rederived == result.architecture
 
 
+class TestDeriveTieBreaking:
+    """Tied alpha rows break randomly — but reproducibly under one seed."""
+
+    TIED = {
+        "node": np.zeros((2, 3)),  # every op tied on every edge
+        "skip": np.zeros((2, 2)),
+        "layer": np.zeros((1, 2)),
+    }
+
+    def test_same_seed_derives_same_architecture(self):
+        first = derive_from_alphas(
+            SMALL_SPACE, self.TIED, np.random.default_rng(42)
+        )
+        second = derive_from_alphas(
+            SMALL_SPACE, self.TIED, np.random.default_rng(42)
+        )
+        assert first == second
+
+    def test_identical_tied_rows_pick_identically_within_one_call(self):
+        # Two rows with the same tie set must not depend on row order in a
+        # way a reseeded rng would hide: re-running the whole derivation
+        # with the same seed reproduces every row's pick.
+        for seed in range(5):
+            archs = [
+                derive_from_alphas(
+                    SMALL_SPACE, self.TIED, np.random.default_rng(seed)
+                )
+                for __ in range(2)
+            ]
+            assert archs[0] == archs[1]
+            assert SMALL_SPACE.contains(archs[0])
+
+    def test_different_seeds_can_differ(self):
+        picks = {
+            derive_from_alphas(SMALL_SPACE, self.TIED, np.random.default_rng(s))
+            for s in range(20)
+        }
+        assert len(picks) > 1  # the tie really is broken randomly
+
+    def test_default_rng_is_seeded_and_stable(self):
+        # rng=None falls back to a fixed seed — calling twice must agree.
+        assert derive_from_alphas(SMALL_SPACE, self.TIED) == derive_from_alphas(
+            SMALL_SPACE, self.TIED
+        )
+
+
 class TestSearchConfig:
     def test_replace(self):
         config = SearchConfig(epochs=10)

@@ -1,0 +1,145 @@
+"""Bench regression gate: direction inference, classification, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.bench_gate import (
+    compare_bench,
+    load_bench,
+    metric_direction,
+    render_bench_diff,
+    scalar_metrics,
+    span_totals,
+)
+
+
+def _payload(gauges: dict, spans=(), scale="smoke") -> dict:
+    return {
+        "bench": "demo",
+        "version": 1,
+        "scale": scale,
+        "spans": list(spans),
+        "metrics": {
+            "gauges": {k: {"value": v} for k, v in gauges.items()},
+            "counters": {},
+            "histograms": {},
+        },
+        "extra": {},
+    }
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name",
+        ["search_time_s.sane.cora", "train_loss", "latency_ms", "peak.memory"],
+    )
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize(
+        "name",
+        ["speedup.cora", "final_score.sane.ppi", "val_accuracy", "micro_f1"],
+    )
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == 1
+
+    def test_unknown_token_never_gates(self):
+        assert metric_direction("candidates.total") == 0
+        deltas = compare_bench(
+            _payload({"candidates.total": 10.0}),
+            _payload({"candidates.total": 2.0}),
+        )
+        assert deltas[0].status == "info"
+        assert not deltas[0].gates
+
+
+class TestCompareBench:
+    def test_within_tolerance_is_ok(self):
+        deltas = compare_bench(
+            _payload({"final_score.cora": 0.80}),
+            _payload({"final_score.cora": 0.78}),  # -2.5% < 10%
+        )
+        assert deltas[0].status == "ok"
+
+    def test_degraded_score_beyond_tolerance_gates(self):
+        deltas = compare_bench(
+            _payload({"final_score.cora": 0.80}),
+            _payload({"final_score.cora": 0.60}),  # -25%
+        )
+        assert deltas[0].status == "regression"
+        assert deltas[0].gates
+
+    def test_improvement_is_flagged_but_never_gates(self):
+        deltas = compare_bench(
+            _payload({"search_time_s.cora": 10.0}),
+            _payload({"search_time_s.cora": 4.0}),
+        )
+        assert deltas[0].status == "improved"
+        assert not deltas[0].gates
+
+    def test_time_metrics_use_the_looser_tolerance(self):
+        base = _payload({"search_time_s.cora": 10.0})
+        ok = compare_bench(base, _payload({"search_time_s.cora": 13.0}))  # +30%
+        assert ok[0].status == "ok"
+        bad = compare_bench(base, _payload({"search_time_s.cora": 16.0}))  # +60%
+        assert bad[0].status == "regression"
+
+    def test_missing_metric_gates_and_new_metric_does_not(self):
+        deltas = compare_bench(
+            _payload({"final_score.a": 0.5}),
+            _payload({"final_score.b": 0.5}),
+        )
+        by_name = {d.name: d for d in deltas}
+        assert by_name["final_score.a"].status == "missing"
+        assert by_name["final_score.a"].gates
+        assert by_name["final_score.b"].status == "new"
+        assert not by_name["final_score.b"].gates
+
+    def test_self_compare_is_entirely_ok(self):
+        payload = _payload({"final_score.cora": 0.8, "search_time_s.cora": 2.0})
+        deltas = compare_bench(payload, payload)
+        assert all(d.status == "ok" for d in deltas)
+
+    def test_spans_only_gate_when_asked(self):
+        spans_base = [{"path": "search/epoch", "total_s": 1.0}]
+        spans_slow = [{"path": "search/epoch", "total_s": 3.0}]
+        base = _payload({}, spans=spans_base)
+        slow = _payload({}, spans=spans_slow)
+        assert compare_bench(base, slow) == []
+        gated = compare_bench(base, slow, gate_spans=True)
+        assert gated[0].name == "span:search/epoch"
+        assert gated[0].status == "regression"
+
+
+class TestLoadersAndRender:
+    def test_load_bench_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_scalar_metrics_flatten_all_kinds(self):
+        payload = _payload({"g": 1.0})
+        payload["metrics"]["counters"]["c"] = {"value": 2.0}
+        payload["metrics"]["histograms"]["h"] = {"mean": 3.0, "count": 4}
+        assert scalar_metrics(payload) == {"g": 1.0, "c": 2.0, "h": 3.0}
+
+    def test_span_totals(self):
+        payload = _payload({}, spans=[{"path": "a/b", "total_s": 1.5}])
+        assert span_totals(payload) == {"a/b": 1.5}
+
+    def test_render_verdict_and_notes(self):
+        deltas = compare_bench(
+            _payload({"final_score.cora": 0.8}),
+            _payload({"final_score.cora": 0.6}),
+        )
+        text = render_bench_diff("BENCH_demo.json", deltas, notes=["scale mismatch"])
+        assert "== Bench BENCH_demo.json: REGRESSION (1 gated metric(s)) ==" in text
+        assert "note: scale mismatch" in text
+        assert "regression" in text
+
+    def test_render_ok_verdict(self):
+        payload = _payload({"final_score.cora": 0.8})
+        text = render_bench_diff("b", compare_bench(payload, payload))
+        assert "== Bench b: ok (0 gated metric(s)) ==" in text

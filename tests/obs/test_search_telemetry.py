@@ -1,0 +1,137 @@
+"""Search telemetry: event stream contents and the bit-identical guarantee."""
+
+import numpy as np
+
+from repro.core.search import SaneSearcher, SearchConfig
+from repro.core.search_space import SearchSpace
+from repro.obs import EventRecorder, record_events
+from repro.obs.search_telemetry import (
+    argmax_genotype,
+    genotype_flips,
+    grad_l2_norm,
+    row_entropy,
+    softmax_rows,
+)
+
+SMALL_SPACE = SearchSpace(
+    num_layers=2, node_ops=("gcn", "sage-mean"), layer_ops=("concat", "max")
+)
+FAST = SearchConfig(epochs=3, hidden_dim=8, dropout=0.1)
+
+
+class TestPureHelpers:
+    def test_softmax_rows_normalises_and_is_stable(self):
+        probs = softmax_rows(np.array([[1000.0, 1000.0], [0.0, 10.0]]))
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.allclose(probs[0], [0.5, 0.5])
+        assert probs[1, 1] > 0.99
+
+    def test_row_entropy_peaks_at_uniform(self):
+        uniform = row_entropy(np.array([[0.25, 0.25, 0.25, 0.25]]))
+        assert np.isclose(uniform[0], np.log(4.0))
+        sharp = row_entropy(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        assert np.isclose(sharp[0], 0.0)
+
+    def test_argmax_genotype_is_deterministic_first_wins(self):
+        alphas = {
+            "node": np.zeros((2, 2)),  # exact ties on every edge
+            "skip": np.zeros((2, 2)),
+            "layer": np.zeros((1, 2)),
+        }
+        genotype = argmax_genotype(SMALL_SPACE, alphas)
+        assert genotype["node"] == (SMALL_SPACE.node_ops[0],) * 2
+        assert genotype["skip"] == (SMALL_SPACE.skip_ops[0],) * 2
+        assert genotype["layer"] == SMALL_SPACE.layer_ops[0]
+        # Identical input, identical output — no RNG anywhere.
+        assert argmax_genotype(SMALL_SPACE, alphas) == genotype
+
+    def test_genotype_flips_reports_per_edge_changes(self):
+        old = {"node": ("gcn", "gcn"), "skip": ("zero", "zero"), "layer": "max"}
+        new = {"node": ("gcn", "gat"), "skip": ("zero", "zero"), "layer": "concat"}
+        flips = genotype_flips(old, new)
+        assert flips == [
+            {"edge": "node/1", "from": "gcn", "to": "gat"},
+            {"edge": "layer/0", "from": "max", "to": "concat"},
+        ]
+
+    def test_grad_l2_norm_skips_gradless_params(self):
+        class P:
+            def __init__(self, grad):
+                self.grad = grad
+
+        params = [P(np.array([3.0])), P(None), P(np.array([4.0]))]
+        assert np.isclose(grad_l2_norm(params), 5.0)
+
+
+class TestSearchEventStream:
+    def test_search_emits_the_documented_events(self, tiny_graph):
+        with record_events(label="t") as recorder:
+            SaneSearcher(SMALL_SPACE, tiny_graph, FAST, seed=0).search()
+        names = [r["event"] for r in recorder.records]
+        assert names[0] == "search_start"
+        assert names[-1] == "search_end"
+        assert names.count("alpha_snapshot") == FAST.epochs
+        assert names.count("epoch_metrics") == FAST.epochs
+        assert "genotype" in names  # initial argmax baseline
+
+        start = recorder.events("search_start")[0]["data"]
+        assert start["space"]["node_ops"] == list(SMALL_SPACE.node_ops)
+        assert start["epochs"] == FAST.epochs
+
+        snapshot = recorder.events("alpha_snapshot")[0]["data"]
+        probs = np.array(snapshot["probs"]["node"])
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert len(snapshot["entropy"]["node"]) == SMALL_SPACE.num_layers
+
+        metrics = recorder.events("epoch_metrics")[0]["data"]
+        assert {"val_score", "train_loss", "val_loss",
+                "arch_grad_norm", "weight_grad_norm"} <= set(metrics)
+
+    def test_search_end_carries_the_derived_architecture(self, tiny_graph):
+        with record_events(label="t") as recorder:
+            result = SaneSearcher(SMALL_SPACE, tiny_graph, FAST, seed=1).search()
+        end = recorder.events("search_end")[0]["data"]
+        assert tuple(end["architecture"]["node"]) == result.architecture.node_aggregators
+        assert end["architecture"]["layer"] == result.architecture.layer_aggregator
+
+
+class TestBitIdenticalWithRecorder:
+    def test_recorded_search_matches_unrecorded(self, tiny_graph):
+        plain = SaneSearcher(SMALL_SPACE, tiny_graph, FAST, seed=7)
+        plain_result = plain.search()
+
+        recorded = SaneSearcher(SMALL_SPACE, tiny_graph, FAST, seed=7)
+        with EventRecorder(label="t"):
+            recorded_result = recorded.search()
+
+        assert recorded_result.architecture == plain_result.architecture
+        for name in ("alpha_node", "alpha_skip", "alpha_layer"):
+            assert np.array_equal(
+                getattr(recorded.supernet, name).data,
+                getattr(plain.supernet, name).data,
+            )
+        for snap_a, snap_b in zip(
+            recorded_result.alpha_snapshots, plain_result.alpha_snapshots
+        ):
+            for kind in ("node", "skip", "layer"):
+                assert np.array_equal(snap_a[kind], snap_b[kind])
+
+    def test_recorded_training_matches_unrecorded(self, tiny_graph):
+        from repro.gnn.models import build_baseline
+        from repro.train.trainer import TrainConfig, fit
+
+        def run():
+            rng = np.random.default_rng(3)
+            model = build_baseline(
+                "gcn", tiny_graph.num_features, tiny_graph.num_classes, rng,
+                hidden_dim=8, num_layers=2,
+            )
+            return fit(model, tiny_graph, TrainConfig(epochs=5))
+
+        plain = run()
+        with record_events(label="t") as recorder:
+            recorded = run()
+        assert recorded.val_score == plain.val_score
+        assert recorded.test_score == plain.test_score
+        assert recorded.history == plain.history
+        assert len(recorder.events("train_epoch")) == 5

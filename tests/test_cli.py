@@ -117,6 +117,164 @@ class TestProfileCommand:
         assert op_stats[0]["data"] == []
 
 
+class TestCommonOptionPlacement:
+    """Every subcommand takes --scale/--seed before *and* after its name."""
+
+    CASES = [
+        (["stats"], []),
+        (["search", "cora"], []),
+        (["baseline", "gcn", "cora"], []),
+        (["table", "4"], []),
+        (["figure", "2"], []),
+        (["lint"], []),
+        (["profile", "search"], []),
+        (["report", "run"], ["events.jsonl"]),
+        (["report", "diff"], ["a.jsonl", "b.jsonl"]),
+        (["report", "bench"], []),
+    ]
+
+    @pytest.mark.parametrize("command,positionals", CASES,
+                             ids=[" ".join(c) for c, _ in CASES])
+    def test_scale_accepted_before_and_after(self, command, positionals):
+        before = build_parser().parse_args(
+            ["--scale", "smoke", *command, *positionals]
+        )
+        after = build_parser().parse_args(
+            [*command, *positionals, "--scale", "smoke"]
+        )
+        assert before.scale == "smoke"
+        assert after.scale == "smoke"
+
+    @pytest.mark.parametrize("command,positionals", CASES,
+                             ids=[" ".join(c) for c, _ in CASES])
+    def test_seed_accepted_before_and_after(self, command, positionals):
+        before = build_parser().parse_args(
+            ["--seed", "9", *command, *positionals]
+        )
+        after = build_parser().parse_args(
+            [*command, *positionals, "--seed", "9"]
+        )
+        assert before.seed == 9
+        assert after.seed == 9
+
+    def test_trailing_flag_wins_over_leading(self):
+        args = build_parser().parse_args(
+            ["--seed", "1", "stats", "--seed", "2"]
+        )
+        assert args.seed == 2
+
+    def test_absent_trailing_flag_keeps_leading_value(self):
+        args = build_parser().parse_args(["--scale", "full", "stats"])
+        assert args.scale == "full"
+
+
+class TestReportCommand:
+    def _record(self, path, seed=0):
+        import numpy as np
+
+        from repro.core.search import SaneSearcher, SearchConfig
+        from repro.core.search_space import SearchSpace
+        from repro.obs import record_events
+
+        space = SearchSpace(
+            num_layers=2, node_ops=("gcn", "sage-mean"),
+            layer_ops=("concat", "max"),
+        )
+        config = SearchConfig(epochs=3, hidden_dim=8, dropout=0.1)
+        graph = _tiny_graph_for_cli()
+        with record_events(path, label="cli-test", spans=True):
+            SaneSearcher(space, graph, config, seed=seed).search()
+
+    def test_report_requires_a_view(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_run_renders_dashboard(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        self._record(events)
+        assert main(["report", "run", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "== Search telemetry: cli-test ==" in out
+        assert "per-edge entropy (nats):" in out
+
+    def test_report_run_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["report", "run", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_diff_renders_comparison(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._record(a, seed=0)
+        self._record(b, seed=1)
+        assert main(["report", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "== Run diff:" in out
+        assert "convergence epoch" in out
+
+    def test_report_bench_ok_against_committed_baselines(self, capsys):
+        code = main(
+            ["report", "bench", "--bench-dir", "benchmarks/baselines"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok (0 gated metric(s))" in out
+
+    def test_report_bench_degraded_file_exits_1(self, tmp_path, capsys):
+        import json
+
+        baseline = {
+            "bench": "demo", "version": 1, "scale": "smoke", "spans": [],
+            "metrics": {"gauges": {"final_score.cora": {"value": 0.8}}},
+            "extra": {},
+        }
+        degraded = dict(baseline)
+        degraded["metrics"] = {"gauges": {"final_score.cora": {"value": 0.5}}}
+        base_dir = tmp_path / "baselines"
+        base_dir.mkdir()
+        (base_dir / "BENCH_demo.json").write_text(json.dumps(baseline))
+        fresh = tmp_path / "BENCH_demo.json"
+        fresh.write_text(json.dumps(degraded))
+        code = main(
+            ["report", "bench", str(fresh), "--baselines", str(base_dir)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_report_bench_missing_fresh_file_exits_1(self, tmp_path, capsys):
+        import json
+
+        base_dir = tmp_path / "baselines"
+        base_dir.mkdir()
+        (base_dir / "BENCH_demo.json").write_text(
+            json.dumps({"bench": "demo", "metrics": {}, "spans": []})
+        )
+        empty = tmp_path / "fresh"
+        empty.mkdir()
+        code = main(
+            ["report", "bench", "--baselines", str(base_dir),
+             "--bench-dir", str(empty)]
+        )
+        assert code == 1
+        assert "fresh results missing" in capsys.readouterr().out
+
+    def test_search_events_flag_writes_renderable_log(self, tmp_path, capsys):
+        events = tmp_path / "ev.jsonl"
+        code = main(
+            ["--scale", "smoke", "search", "cora", "--layers", "2",
+             "--events", str(events)]
+        )
+        assert code == 0
+        assert str(events) in capsys.readouterr().out
+        assert main(["report", "run", str(events)]) == 0
+        assert "Search telemetry" in capsys.readouterr().out
+
+
+def _tiny_graph_for_cli():
+    from tests.conftest import _make_tiny_graph
+
+    return _make_tiny_graph()
+
+
 class TestLintCommand:
     def test_parser_accepts_paths_and_format(self):
         args = build_parser().parse_args(["lint", "src/repro", "--format", "json"])
