@@ -2,7 +2,10 @@
 
 Shape assertions: GNN-based alignment beats the JAPE-like embedding
 baseline, and SANE's searched aggregator combination matches or beats
-GCN-Align (paper: 42.10 vs 41.25 Hits@1 ZH→EN).
+GCN-Align (paper: 42.10 vs 41.25 Hits@1 ZH→EN). The ordering claims
+need a real training budget, so they run from ``default`` scale
+upward; ``smoke`` asserts the structural shape (monotone Hits@k,
+valid searched ops) only.
 """
 
 from repro.experiments import run_table8
@@ -16,16 +19,19 @@ def test_table8_entity_alignment(benchmark):
     show("Table VIII — DB task (Hits@k)", result.render())
 
     hits = result.hits
+    # Structural shape (every scale): Hits@k monotone in k, and the
+    # searched architecture is a combination of node aggregators.
+    for direction in ("zh->en", "en->zh"):
+        for method in hits:
+            h = hits[method][direction]
+            assert h[1] <= h[10] <= h[50]
+    assert len(result.searched_ops) == 2
+    if scale.name == "smoke":
+        return
+
     for direction in ("zh->en", "en->zh"):
         # GNN propagation beats pure embedding matching at Hits@1.
         assert hits["gcn-align"][direction][1] >= hits["jape"][direction][1]
         # SANE is competitive with GCN-Align (small tolerance at the
         # reduced search budget).
         assert hits["sane"][direction][1] >= hits["gcn-align"][direction][1] - 0.05
-        # Hits@k is monotone in k for every method.
-        for method in hits:
-            h = hits[method][direction]
-            assert h[1] <= h[10] <= h[50]
-
-    # The searched architecture is a combination of node aggregators.
-    assert len(result.searched_ops) == 2

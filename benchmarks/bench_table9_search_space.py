@@ -3,7 +3,9 @@
 Shape assertion (Section IV-E3): at the same candidate budget,
 GraphNAS over the compact SANE space achieves accuracy at least close
 to GraphNAS over its own (hyper-parameter-mixed) space — averaging
-over datasets and the WS/no-WS variants.
+over datasets and the WS/no-WS variants. The comparison needs a real
+training budget, so it runs from ``default`` scale upward; ``smoke``
+asserts the structural shape of the table only.
 """
 
 import numpy as np
@@ -29,6 +31,11 @@ def test_table9_search_space_efficacy(benchmark):
         own.append(table.mean("graphnas-ws", dataset))
         sane_space.append(table.mean("graphnas (sane space)", dataset))
         sane_space.append(table.mean("graphnas-ws (sane space)", dataset))
+    # Structural shape (every scale): every variant scored in [0, 1].
+    assert all(0.0 <= v <= 1.0 for v in own + sane_space)
+    if scale.name == "smoke":
+        return
+
     # "better or at least close accuracy" (the paper's wording).
     assert np.mean(sane_space) >= np.mean(own) - 0.03, (
         f"sane-space mean {np.mean(sane_space):.3f} vs own {np.mean(own):.3f}"

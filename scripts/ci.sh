@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# One-command CI: lint, tier-1 tests, smoke-scale suite + benches, bench gate.
+#
+#   scripts/ci.sh            # full pipeline (writes fresh benches to a tmp dir)
+#   SKIP_BENCH=1 scripts/ci.sh   # lint + tests only (no bench regeneration)
+#
+# The bench stage regenerates BENCH_*.json at smoke scale — the same
+# scale the committed baselines in benchmarks/baselines/ were recorded
+# at — and gates the fresh numbers with `repro report bench`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "==> repro lint"
+python -m repro lint
+
+echo "==> tier-1 tests (default scale)"
+python -m pytest -x -q
+
+echo "==> test suite at smoke scale"
+REPRO_SCALE=smoke python -m pytest -x -q
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    BENCH_DIR="$(mktemp -d)"
+    trap 'rm -rf "$BENCH_DIR"' EXIT
+    echo "==> smoke-scale benchmarks -> $BENCH_DIR"
+    REPRO_SCALE=smoke REPRO_BENCH_DIR="$BENCH_DIR" \
+        python -m pytest benchmarks/ --benchmark-only --benchmark-disable-gc -q
+
+    echo "==> bench regression gate"
+    python -m repro report bench --bench-dir "$BENCH_DIR"
+fi
+
+echo "CI OK"

@@ -24,6 +24,7 @@ __all__ = [
     "BareExceptRule",
     "MutableDefaultArgRule",
     "AdHocTimingRule",
+    "BufferedScatterRule",
     "NakedPrintRule",
     "CORE_RULES",
 ]
@@ -421,6 +422,58 @@ class AdHocTimingRule(Rule):
         return "obs" not in rest
 
 
+class BufferedScatterRule(Rule):
+    """Direct ``np.add.at``/``np.maximum.at`` outside the kernel module.
+
+    Buffered ``ufunc.at`` scatters are 4-6x slower than the planned CSR
+    kernels in :mod:`repro.autograd.kernels` and bypass the
+    ``REPRO_KERNELS`` backend switch, so a stray call silently forks
+    the scatter implementation and re-introduces exactly the hotspot
+    the fused kernels removed. Only ``repro/autograd/kernels.py`` — the
+    naive reference backend's home — may call them; everywhere else the
+    code must go through ``kernels.scatter_sum``/``scatter_max``/
+    ``index_add`` or carry a ``# lint: disable=buffered-scatter``
+    justification.
+    """
+
+    rule_id = "buffered-scatter"
+    severity = Severity.ERROR
+    description = "np.add.at/np.maximum.at in src/repro outside repro.autograd.kernels"
+    node_types = (ast.Call,)
+
+    _UFUNCS = frozenset({"add", "maximum", "minimum", "multiply", "subtract"})
+
+    def check(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] in self._UFUNCS
+            and parts[2] == "at"
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                f"{dotted}() is a buffered scatter outside the kernel module; "
+                "route it through repro.autograd.kernels (scatter_sum/"
+                "scatter_max/index_add) so the REPRO_KERNELS backend applies",
+            )
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        """True inside ``repro`` except ``autograd/kernels.py`` itself."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = tuple(parts[len(parts) - parts[::-1].index("repro"):])
+        return rest != ("autograd", "kernels.py")
+
+
 class NakedPrintRule(Rule):
     """``print()`` in library code instead of structured output.
 
@@ -479,5 +532,6 @@ CORE_RULES: tuple[type[Rule], ...] = (
     BareExceptRule,
     MutableDefaultArgRule,
     AdHocTimingRule,
+    BufferedScatterRule,
     NakedPrintRule,
 )

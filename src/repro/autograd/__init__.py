@@ -9,7 +9,7 @@ from repro.autograd.tensor import (
     set_grad_enabled,
     set_tape_hook,
 )
-from repro.autograd import ops, functional, scatter
+from repro.autograd import functional, kernels, ops, scatter
 
 __all__ = [
     "Tensor",
@@ -21,5 +21,6 @@ __all__ = [
     "get_tape_hook",
     "ops",
     "functional",
+    "kernels",
     "scatter",
 ]

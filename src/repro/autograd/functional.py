@@ -21,6 +21,7 @@ __all__ = [
     "softmax",
     "log_softmax",
     "dropout",
+    "lstm_gate_update",
     "nll_loss",
     "cross_entropy",
     "binary_cross_entropy_with_logits",
@@ -93,6 +94,51 @@ def dropout(x, p: float, training: bool, rng: np.random.Generator) -> Tensor:
     keep = 1.0 - p
     mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
     return Tensor._from_op(x.data * mask, (x,), lambda g: (g * mask,))
+
+
+def lstm_gate_update(gates, c_prev) -> tuple[Tensor, Tensor]:
+    """Elementwise LSTM state update from pre-activation ``gates``.
+
+    ``gates`` is ``(N, 4d)`` laid out ``[input, forget, cell, output]``;
+    returns ``(h_new, c_new)``. Spelled as two tape nodes sharing the
+    precomputed activations instead of the ~13-node composite (four
+    slice selections, four activations, the gating arithmetic) an LSTM
+    step would otherwise record — the cell runs once per sequence
+    position per direction, so the tape overhead is material. Forward
+    values match the composite spelling exactly (same stable sigmoid).
+    """
+    gates, c_prev = as_tensor(gates), as_tensor(c_prev)
+    if gates.ndim != 2 or gates.shape[1] % 4:
+        raise ValueError(f"gates must be (N, 4d), got {gates.shape}")
+    d = gates.shape[1] // 4
+    raw = gates.data
+    # Same numerically stable logistic as ops.sigmoid.
+    i_gate = 0.5 * (np.tanh(0.5 * raw[:, 0 * d : 1 * d]) + 1.0)
+    f_gate = 0.5 * (np.tanh(0.5 * raw[:, 1 * d : 2 * d]) + 1.0)
+    g_gate = np.tanh(raw[:, 2 * d : 3 * d])
+    o_gate = 0.5 * (np.tanh(0.5 * raw[:, 3 * d : 4 * d]) + 1.0)
+    c_data = f_gate * c_prev.data + i_gate * g_gate
+    tanh_c = np.tanh(c_data)
+
+    def backward_c(g):
+        grad_gates = np.zeros_like(raw)
+        grad_gates[:, 0 * d : 1 * d] = g * g_gate * i_gate * (1.0 - i_gate)
+        grad_gates[:, 1 * d : 2 * d] = (
+            g * c_prev.data * f_gate * (1.0 - f_gate)
+        )
+        grad_gates[:, 2 * d : 3 * d] = g * i_gate * (1.0 - g_gate * g_gate)
+        grad_c = g * f_gate if c_prev.requires_grad else None
+        return grad_gates, grad_c
+
+    c_new = Tensor._from_op(c_data, (gates, c_prev), backward_c)
+
+    def backward_h(g):
+        grad_gates = np.zeros_like(raw)
+        grad_gates[:, 3 * d : 4 * d] = g * tanh_c * o_gate * (1.0 - o_gate)
+        return grad_gates, g * o_gate * (1.0 - tanh_c * tanh_c)
+
+    h_new = Tensor._from_op(o_gate * tanh_c, (gates, c_new), backward_h)
+    return h_new, c_new
 
 
 def nll_loss(log_probs, targets, reduction: str = "mean") -> Tensor:

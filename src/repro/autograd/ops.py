@@ -14,6 +14,7 @@ import builtins
 
 import numpy as np
 
+from repro.autograd import kernels
 from repro.autograd.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "maximum",
     "clip",
     "matmul",
+    "linear",
     "sum",
     "mean",
     "max",
@@ -42,6 +44,7 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "weighted_sum",
 ]
 
 
@@ -52,13 +55,24 @@ def add(a, b) -> Tensor:
 
 def sub(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    return Tensor._from_op(a.data - b.data, (a, b), lambda g: (g, -g))
+    return Tensor._from_op(
+        a.data - b.data,
+        (a, b),
+        lambda g: (g, -g if b.requires_grad else None),
+    )
 
 
 def mul(a, b) -> Tensor:
+    # VJP products are skipped for constant operands (e.g. dropout
+    # masks, input features): the tape drops None parent gradients.
     a, b = as_tensor(a), as_tensor(b)
     return Tensor._from_op(
-        a.data * b.data, (a, b), lambda g: (g * b.data, g * a.data)
+        a.data * b.data,
+        (a, b),
+        lambda g: (
+            g * b.data if a.requires_grad else None,
+            g * a.data if b.requires_grad else None,
+        ),
     )
 
 
@@ -67,7 +81,10 @@ def div(a, b) -> Tensor:
     return Tensor._from_op(
         a.data / b.data,
         (a, b),
-        lambda g: (g / b.data, -g * a.data / (b.data * b.data)),
+        lambda g: (
+            g / b.data if a.requires_grad else None,
+            -g * a.data / (b.data * b.data) if b.requires_grad else None,
+        ),
     )
 
 
@@ -140,7 +157,10 @@ def maximum(a, b) -> Tensor:
         a_wins = (a.data > b.data).astype(np.float64)
         b_wins = (b.data > a.data).astype(np.float64)
         tie = 1.0 - a_wins - b_wins
-        return g * (a_wins + 0.5 * tie), g * (b_wins + 0.5 * tie)
+        return (
+            g * (a_wins + 0.5 * tie) if a.requires_grad else None,
+            g * (b_wins + 0.5 * tie) if b.requires_grad else None,
+        )
 
     return Tensor._from_op(out, (a, b), backward)
 
@@ -168,7 +188,12 @@ def where(condition, a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
     out = np.where(cond, a.data, b.data)
     return Tensor._from_op(
-        out, (a, b), lambda g: (g * cond, g * (~cond))
+        out,
+        (a, b),
+        lambda g: (
+            g * cond if a.requires_grad else None,
+            g * (~cond) if b.requires_grad else None,
+        ),
     )
 
 
@@ -179,8 +204,8 @@ def matmul(a, b) -> Tensor:
     out = a.data @ b.data
 
     def backward(g):
-        grad_a = g @ b.data.swapaxes(-1, -2)
-        grad_b = a.data.swapaxes(-1, -2) @ g
+        grad_a = g @ b.data.swapaxes(-1, -2) if a.requires_grad else None
+        grad_b = a.data.swapaxes(-1, -2) @ g if b.requires_grad else None
         return grad_a, grad_b
 
     return Tensor._from_op(out, (a, b), backward)
@@ -249,22 +274,114 @@ def transpose(a, axes=None) -> Tensor:
     return Tensor._from_op(out, (a,), backward)
 
 
-def getitem(a, index) -> Tensor:
+def getitem(a, index, plan=None) -> Tensor:
     """Differentiable indexing (slices, integers, integer arrays).
 
     The adjoint scatters the output gradient back with accumulation,
     so repeated indices (fancy indexing) are handled correctly — this
-    is the primitive behind neighbor gathering in message passing.
+    is the primitive behind neighbor gathering in message passing. Row
+    selection by a 1-D integer array (the neighbor-gather case) runs
+    its forward through ``np.take`` and its adjoint through the
+    planned scatter kernels; ``plan`` (a
+    :class:`~repro.autograd.kernels.SegmentPlan` of ``index`` over
+    ``len(a)`` segments) skips even the plan lookup.
     """
     a = as_tensor(a)
+    if kernels.is_row_index(index):
+        out = np.take(a.data, index, axis=0)
+        num_rows = a.data.shape[0]
+
+        def backward(g):
+            return (kernels.scatter_sum(np.asarray(g), index, num_rows, plan),)
+
+        return Tensor._from_op(out, (a,), backward)
+
     out = a.data[index]
 
     def backward(g):
         grad = np.zeros_like(a.data)
-        np.add.at(grad, index, g)
+        kernels.index_add(grad, index, g)
         return (grad,)
 
     return Tensor._from_op(out, (a,), backward)
+
+
+def linear(x, weight, bias=None) -> Tensor:
+    """Affine map ``x @ weight + bias`` as a single tape node.
+
+    The composed ``matmul`` + ``add`` spelling records two nodes and
+    recovers the bias gradient by unbroadcasting a full-size gradient;
+    fusing computes ``grad_bias`` as a column sum directly. ``weight``
+    must be 2-D; ``x`` may carry leading batch dimensions.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    if x.ndim < 2 or weight.ndim != 2:
+        raise ValueError(
+            f"linear expects x.ndim >= 2 and a 2-D weight, got "
+            f"{x.shape} @ {weight.shape}"
+        )
+    out = x.data @ weight.data
+    if bias is not None:
+        bias = as_tensor(bias)
+        out = out + bias.data
+
+    def backward(g):
+        grad_x = g @ weight.data.T if x.requires_grad else None
+        if not weight.requires_grad:
+            grad_w = None
+        elif x.ndim == 2:
+            grad_w = x.data.T @ g
+        else:
+            batch_axes = tuple(range(x.ndim - 1))
+            grad_w = np.tensordot(x.data, g, axes=(batch_axes, batch_axes))
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = (
+            g.reshape(-1, g.shape[-1]).sum(axis=0)
+            if bias.requires_grad
+            else None
+        )
+        return grad_x, grad_w, grad_b
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._from_op(out, parents, backward)
+
+
+def weighted_sum(tensors, weights) -> Tensor:
+    """``sum_i weights[i] * tensors[i]`` as a single tape node.
+
+    The mixture primitive of the supernet (Eq. 2): ``weights`` is a 1-D
+    tensor with one scalar per candidate, ``tensors`` the candidate
+    outputs (all the same shape). Fusing the mixture collapses the
+    per-candidate ``getitem``/``mul``/``add`` chain — and its per-node
+    temporaries on both passes — into one op; the weight gradient is a
+    direct inner product instead of a full-size elementwise product
+    reduced after the fact.
+    """
+    tensors = [as_tensor(t) for t in tensors]
+    weights = as_tensor(weights)
+    if weights.ndim != 1 or len(weights) != len(tensors):
+        raise ValueError(
+            f"weighted_sum needs one weight per tensor, got {weights.shape} "
+            f"for {len(tensors)} tensors"
+        )
+    w = weights.data
+    out = w[0] * tensors[0].data
+    for i in range(1, len(tensors)):
+        out += w[i] * tensors[i].data
+
+    def backward(g):
+        grads = [
+            w[i] * g if t.requires_grad else None
+            for i, t in enumerate(tensors)
+        ]
+        if weights.requires_grad:
+            grads.append(np.array([np.vdot(g, t.data) for t in tensors]))
+        else:
+            grads.append(None)
+        return tuple(grads)
+
+    return Tensor._from_op(out, (*tensors, weights), backward)
 
 
 def concatenate(tensors, axis: int = 0) -> Tensor:

@@ -9,13 +9,21 @@ space (Table I / Table XI) composes out of differentiable pieces:
 
 ``segment_ids`` plays the role of ``dst``. Segments may be empty (an
 isolated node); empty segments reduce to zero.
+
+The raw reductions run on :mod:`repro.autograd.kernels`
+(``REPRO_KERNELS=naive|fused``). Every function takes an optional
+precomputed :class:`~repro.autograd.kernels.SegmentPlan`; hot callers
+(the GNN aggregators) thread the per-graph plans a
+:class:`~repro.gnn.common.GraphCache` holds, everyone else falls back
+to the identity-keyed plan memo.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import ops
+from repro.autograd import kernels, ops
+from repro.autograd.kernels import SegmentPlan
 from repro.autograd.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -24,26 +32,99 @@ __all__ = [
     "segment_mean",
     "segment_max",
     "segment_softmax",
+    "segment_attention_sum",
     "segment_count",
 ]
 
 
-def gather(x, index: np.ndarray) -> Tensor:
+def gather(x, index: np.ndarray, plan: SegmentPlan | None = None) -> Tensor:
     """Select rows ``x[index]`` along axis 0 (differentiable).
 
     Equivalent to fancy indexing; repeated indices accumulate gradient.
+    ``plan`` (a plan of ``index`` over ``len(x)`` segments) accelerates
+    the adjoint scatter.
     """
     index = np.asarray(index, dtype=np.int64)
-    return ops.getitem(as_tensor(x), index)
+    return ops.getitem(as_tensor(x), index, plan=plan)
 
 
-def segment_count(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
-    """Number of elements per segment as a float array (constant)."""
+def segment_attention_sum(
+    x,
+    weights,
+    src_index: np.ndarray,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    src_plan: SegmentPlan | None = None,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
+    """``out[s] = sum over edges e with segment_ids[e] == s of
+    weights[e] * x[src_index[e]]`` — the weighted message-passing step
+    of attention aggregators (and GCN, whose weights are constant),
+    fused into one tape node.
+
+    ``x`` has one more trailing axis than ``weights`` (``(N, d)`` with
+    ``(E,)`` weights, or ``(N, H, d)`` with ``(E, H)``). The composed
+    gather → multiply → ``segment_sum`` spelling records three
+    full-edge-size tape nodes; this runs the identical value sequence
+    (take, multiply, bincount — bit-identical forward) while computing
+    the weight gradient as a trailing-axis inner product directly.
+    ``src_plan`` covers the adjoint scatter back to ``x`` rows,
+    ``plan`` the forward reduction.
+    """
+    x, weights = as_tensor(x), as_tensor(weights)
+    src_index = np.asarray(src_index, dtype=np.int64)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if x.ndim != weights.ndim + 1:
+        raise ValueError(
+            f"x must have one more axis than weights, got {x.shape} "
+            f"and {weights.shape}"
+        )
+    x_src = np.take(x.data, src_index, axis=0)
+    w_edge = weights.data[..., None]
+    out = kernels.scatter_sum(
+        x_src * w_edge, segment_ids, num_segments, plan
+    )
+    num_rows = x.data.shape[0]
+
+    def backward(g):
+        g_edge = np.take(g, segment_ids, axis=0)
+        grad_x = (
+            kernels.scatter_sum(g_edge * w_edge, src_index, num_rows, src_plan)
+            if x.requires_grad
+            else None
+        )
+        grad_w = (
+            (g_edge * x_src).sum(axis=-1) if weights.requires_grad else None
+        )
+        return grad_x, grad_w
+
+    return Tensor._from_op(out, (x, weights), backward)
+
+
+def segment_count(
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> np.ndarray:
+    """Number of elements per segment as a float array (constant).
+
+    Served from the plan's cached counts when one exists (treat the
+    result as read-only in that case — it is shared).
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if plan is None:
+        plan = kernels.peek_plan(segment_ids, num_segments)
+    if plan is not None:
+        return plan.counts_float
     return np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
 
 
-def segment_sum(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` buckets.
 
     ``out[s] = sum_{i : segment_ids[i] == s} x[i]``; the adjoint is a
@@ -51,64 +132,102 @@ def segment_sum(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """
     x = as_tensor(x)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
-    np.add.at(out, segment_ids, x.data)
-    return Tensor._from_op(out, (x,), lambda g: (g[segment_ids],))
+    out = kernels.scatter_sum(x.data, segment_ids, num_segments, plan)
+    return Tensor._from_op(
+        out, (x,), lambda g: (np.take(g, segment_ids, axis=0),)
+    )
 
 
-def segment_mean(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    x,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Mean per segment; empty segments yield zero."""
-    counts = segment_count(segment_ids, num_segments)
-    counts = np.maximum(counts, 1.0)
-    total = segment_sum(x, segment_ids, num_segments)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if plan is None:
+        plan = kernels.peek_plan(segment_ids, num_segments)
+    if plan is not None:
+        counts = plan.counts_clamped
+    else:
+        counts = np.maximum(segment_count(segment_ids, num_segments), 1.0)
+    x = as_tensor(x)
+    total = kernels.scatter_sum(x.data, segment_ids, num_segments, plan)
     denom = counts.reshape((num_segments,) + (1,) * (total.ndim - 1))
-    return total / denom
+    return Tensor._from_op(
+        total / denom,
+        (x,),
+        lambda g: (np.take(g / denom, segment_ids, axis=0),),
+    )
 
 
-def segment_max(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_max(
+    x,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Max per segment; gradient splits evenly among tied maxima.
 
-    Empty segments yield zero (and receive no gradient).
+    Empty segments yield zero (and receive no gradient). The winner
+    bookkeeping for the gradient happens inside the backward closure,
+    so inference-mode forwards (``no_grad``) skip it entirely.
     """
     x = as_tensor(x)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    feature_shape = x.data.shape[1:]
-    out = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
-    np.maximum.at(out, segment_ids, x.data)
+    out = kernels.scatter_max(x.data, segment_ids, num_segments, plan)
     empty = ~np.isfinite(out)
     out[empty] = 0.0
 
-    max_per_row = out[segment_ids]
-    winners = (x.data == max_per_row).astype(np.float64)
-    # Normalise ties: count winners per segment, divide each winner's share.
-    winner_counts = np.zeros_like(out)
-    np.add.at(winner_counts, segment_ids, winners)
-    winner_counts = np.maximum(winner_counts, 1.0)
-    share = winners / winner_counts[segment_ids]
-
     def backward(g):
         g = np.where(empty, 0.0, g)
-        return (g[segment_ids] * share,)
+        max_per_row = np.take(out, segment_ids, axis=0)
+        winners = (x.data == max_per_row).astype(np.float64)
+        # Normalise ties: count winners per segment, divide each winner's share.
+        winner_counts = kernels.scatter_sum(
+            winners, segment_ids, num_segments, plan
+        )
+        winner_counts = np.maximum(winner_counts, 1.0)
+        share = winners / np.take(winner_counts, segment_ids, axis=0)
+        return (np.take(g, segment_ids, axis=0) * share,)
 
     return Tensor._from_op(out, (x,), backward)
 
 
-def segment_softmax(scores, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    scores,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Softmax over each segment of a 1-D score vector.
 
     This is the attention normalisation: for every destination node,
     the scores of its incoming edges are normalised to sum to one.
-    Numerically stabilised by subtracting the per-segment max (which is
-    detached — the shift does not change the function value).
+    Numerically stabilised by subtracting the per-segment max (the
+    shift does not change the function value). Runs as a single tape
+    node with the closed-form softmax adjoint
+    ``out * (g - gather(segment_sum(out * g)))`` rather than a chain of
+    primitive ops — attention normalisation is hot enough that the
+    intermediate tape nodes and per-edge temporaries matter.
     """
     scores = as_tensor(scores)
     if scores.ndim != 1:
         raise ValueError(f"segment_softmax expects 1-D scores, got {scores.shape}")
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
 
-    shift = segment_max(scores.detach(), segment_ids, num_segments)
-    shifted = scores - gather(shift, segment_ids)
-    exp_scores = ops.exp(shifted)
-    denom = segment_sum(exp_scores, segment_ids, num_segments)
-    denom = ops.clip(denom, low=1e-16)
-    return exp_scores / gather(denom, segment_ids)
+    shift = kernels.scatter_max(scores.data, segment_ids, num_segments, plan)
+    shift[~np.isfinite(shift)] = 0.0
+    exp_scores = np.exp(scores.data - np.take(shift, segment_ids))
+    denom = kernels.scatter_sum(exp_scores, segment_ids, num_segments, plan)
+    np.maximum(denom, 1e-16, out=denom)
+    out = exp_scores / np.take(denom, segment_ids)
+
+    def backward(g):
+        weighted = kernels.scatter_sum(
+            out * g, segment_ids, num_segments, plan
+        )
+        return (out * (g - np.take(weighted, segment_ids)),)
+
+    return Tensor._from_op(out, (scores,), backward)

@@ -245,9 +245,13 @@ class Tensor:
         for parent, parent_grad in zip(self._parents, parent_grads):
             if parent_grad is None or not parent.requires_grad:
                 continue
-            parent_grad = _unbroadcast(
-                np.asarray(parent_grad, dtype=np.float64), parent.data.shape
-            )
+            if (
+                type(parent_grad) is not np.ndarray
+                or parent_grad.dtype != np.float64
+            ):
+                parent_grad = np.asarray(parent_grad, dtype=np.float64)
+            if parent_grad.shape != parent.data.shape:
+                parent_grad = _unbroadcast(parent_grad, parent.data.shape)
             key = id(parent)
             if key in grads:
                 grads[key] = grads[key] + parent_grad

@@ -12,8 +12,9 @@ Commands
 ``report``           render telemetry dashboards and the bench gate
 
 All commands take ``--scale smoke|default|full`` (default: value of
-``REPRO_SCALE`` or ``default``) and ``--seed``, accepted both before
-and after the subcommand.
+``REPRO_SCALE`` or ``default``), ``--seed``, and ``--kernels
+naive|fused`` (default: value of ``REPRO_KERNELS`` or ``fused``),
+accepted both before and after the subcommand.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis import lint_paths, render_json, render_text
+from repro.autograd import kernels
 from repro.obs import ProfileSession, record_events, render_diff, render_run
 from repro.obs.bench_gate import compare_bench, load_bench, render_bench_diff
 from repro.experiments import (
@@ -73,6 +75,9 @@ def _add_common_options(*parsers) -> None:
             "--scale", choices=sorted(SCALES), default=argparse.SUPPRESS
         )
         sub.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+        sub.add_argument(
+            "--kernels", choices=kernels.BACKENDS, default=argparse.SUPPRESS
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute budget preset",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kernels",
+        choices=kernels.BACKENDS,
+        default=kernels.get_backend(),
+        help="segment-kernel backend (default: REPRO_KERNELS or 'fused')",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     stats = commands.add_parser("stats", help="dataset statistics (Tables IV/V)")
@@ -218,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    kernels.set_backend(args.kernels)
 
     if args.command == "lint":
         paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]

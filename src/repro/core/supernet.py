@@ -29,7 +29,7 @@ from repro.autograd import ops
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.core.search_space import Architecture, SearchSpace
 from repro.gnn.aggregators import create_node_aggregator
-from repro.gnn.common import GraphCache
+from repro.gnn.common import GraphCache, LayerContext
 from repro.gnn.layer_aggregators import create_layer_aggregator
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module, Parameter
@@ -164,14 +164,17 @@ class SaneSupernet(Module):
             weights = self._mixture(
                 ops.getitem(self.alpha_node, layer_index), len(candidates)
             )
-            mixed = None
-            for op_index, candidate in enumerate(candidates):
-                out = candidate(h, cache)
+            # One shared context per layer: candidates that gather the
+            # raw input features reuse a single tape node, so the
+            # gather's adjoint scatter runs once per layer.
+            ctx = LayerContext(h, cache)
+            outputs = []
+            for candidate in candidates:
+                out = candidate(h, cache, ctx)
                 if self.normalize_ops:
                     out = _row_normalize(out)
-                term = out * weights[op_index]
-                mixed = term if mixed is None else mixed + term
-            h = self.activation(mixed)
+                outputs.append(out)
+            h = self.activation(ops.weighted_sum(outputs, weights))
             h = self.dropout(h)
             layer_outputs.append(h)
 
@@ -192,13 +195,13 @@ class SaneSupernet(Module):
         weights = self._mixture(
             ops.getitem(self.alpha_layer, 0), len(self.layer_candidates)
         )
-        mixed = None
-        for op_index, (aggregator, projection) in enumerate(
-            zip(self.layer_candidates, self.layer_projections)
-        ):
-            term = projection(aggregator(skipped)) * weights[op_index]
-            mixed = term if mixed is None else mixed + term
-        return mixed
+        terms = [
+            projection(aggregator(skipped))
+            for aggregator, projection in zip(
+                self.layer_candidates, self.layer_projections
+            )
+        ]
+        return ops.weighted_sum(terms, weights)
 
     def forward(self, features, cache: GraphCache) -> Tensor:
         return self.classifier(self.embed(features, cache))

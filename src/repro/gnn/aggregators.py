@@ -29,9 +29,15 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd import ops
-from repro.autograd.scatter import gather, segment_max, segment_mean, segment_softmax, segment_sum
+from repro.autograd.scatter import (
+    gather,
+    segment_attention_sum,
+    segment_max,
+    segment_softmax,
+    segment_sum,
+)
 from repro.autograd.tensor import Tensor, as_tensor
-from repro.gnn.common import GraphCache
+from repro.gnn.common import GraphCache, LayerContext
 from repro.nn import init
 from repro.nn.layers import Linear, MLP
 from repro.nn.lstm import LSTMCell
@@ -50,15 +56,34 @@ __all__ = [
 
 
 class NodeAggregator(Module):
-    """Base class; concrete aggregators implement :meth:`forward`."""
+    """Base class; concrete aggregators implement :meth:`forward`.
+
+    ``ctx`` is an optional :class:`~repro.gnn.common.LayerContext`: the
+    supernet evaluates all candidate ops of a layer on the same input
+    and passes one context so ops that gather the raw source features
+    share a single tape node (one adjoint scatter per layer).
+    """
 
     def __init__(self, in_dim: int, out_dim: int):
         super().__init__()
         self.in_dim = in_dim
         self.out_dim = out_dim
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         raise NotImplementedError
+
+    @staticmethod
+    def _source_features(
+        x: Tensor, cache: GraphCache, ctx: LayerContext | None, self_loops: bool
+    ) -> Tensor:
+        """Gathered source rows of ``x``, shared through ``ctx`` when valid."""
+        if ctx is not None and ctx.x is x:
+            return ctx.source_features(self_loops)
+        if self_loops:
+            return gather(x, cache.src, plan=cache.src_plan)
+        return gather(x, cache.nbr_src, plan=cache.nbr_src_plan)
 
 
 class SageAggregator(NodeAggregator):
@@ -72,15 +97,29 @@ class SageAggregator(NodeAggregator):
         self.lin_self = Linear(in_dim, out_dim, rng)
         self.lin_neighbor = Linear(in_dim, out_dim, rng, bias=False)
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         x = as_tensor(x)
-        messages = gather(x, cache.nbr_src)
-        if self.reduce == "sum":
-            agg = segment_sum(messages, cache.nbr_dst, cache.num_nodes)
-        elif self.reduce == "mean":
-            agg = segment_mean(messages, cache.nbr_dst, cache.num_nodes)
+        plan = cache.nbr_dst_plan
+        shared = ctx is not None and ctx.x is x
+        if self.reduce == "max":
+            messages = self._source_features(x, cache, ctx, self_loops=False)
+            agg = segment_max(messages, cache.nbr_dst, cache.num_nodes, plan)
         else:
-            agg = segment_max(messages, cache.nbr_dst, cache.num_nodes)
+            # SUM and MEAN share one scatter through the layer context
+            # (mean is the shared sum scaled by in-degree).
+            if shared:
+                agg = ctx.neighbor_sum()
+            else:
+                messages = self._source_features(
+                    x, cache, ctx, self_loops=False
+                )
+                agg = segment_sum(
+                    messages, cache.nbr_dst, cache.num_nodes, plan
+                )
+            if self.reduce == "mean":
+                agg = agg / plan.counts_clamped[:, None]
         return self.lin_self(x) + self.lin_neighbor(agg)
 
 
@@ -91,10 +130,19 @@ class GCNAggregator(NodeAggregator):
         super().__init__(in_dim, out_dim)
         self.lin = Linear(in_dim, out_dim, rng)
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         h = self.lin(x)
-        messages = gather(h, cache.src) * Tensor(cache.gcn_weights[:, None])
-        return segment_sum(messages, cache.dst, cache.num_nodes)
+        return segment_attention_sum(
+            h,
+            cache.gcn_weights,
+            cache.src,
+            cache.dst,
+            cache.num_nodes,
+            cache.src_plan,
+            cache.dst_plan,
+        )
 
 
 class GATAggregator(NodeAggregator):
@@ -143,49 +191,68 @@ class GATAggregator(NodeAggregator):
     def _edge_scores(self, x: Tensor, h_heads: Tensor, cache: GraphCache) -> Tensor:
         """Per-edge, per-head unnormalised attention scores ``(E, heads)``."""
         src, dst = cache.src, cache.dst
+        src_plan, dst_plan = cache.src_plan, cache.dst_plan
         if self.variant in ("gat", "sym"):
             score_src = ops.sum(h_heads * self.att_src, axis=-1)  # (N, heads)
             score_dst = ops.sum(h_heads * self.att_dst, axis=-1)
             forward = F.leaky_relu(
-                gather(score_src, src) + gather(score_dst, dst), self.negative_slope
+                gather(score_src, src, src_plan) + gather(score_dst, dst, dst_plan),
+                self.negative_slope,
             )
             if self.variant == "gat":
                 return forward
             backward = F.leaky_relu(
-                gather(score_src, dst) + gather(score_dst, src), self.negative_slope
+                gather(score_src, dst, dst_plan) + gather(score_dst, src, src_plan),
+                self.negative_slope,
             )
             return forward + backward
         if self.variant == "cos":
             h_dst = self.lin_dst(x).reshape(-1, self.heads, self.head_dim)
-            return ops.sum(gather(h_heads, src) * gather(h_dst, dst), axis=-1)
+            return ops.sum(
+                gather(h_heads, src, src_plan) * gather(h_dst, dst, dst_plan),
+                axis=-1,
+            )
         if self.variant == "linear":
             score_src = ops.sum(h_heads * self.att_src, axis=-1)
             score_dst = ops.sum(h_heads * self.att_dst, axis=-1)
-            return ops.tanh(gather(score_src, src) + gather(score_dst, dst))
+            return ops.tanh(
+                gather(score_src, src, src_plan) + gather(score_dst, dst, dst_plan)
+            )
         # gen-linear
         h_src = self.lin_src(x).reshape(-1, self.heads, self.head_dim)
         h_dst = self.lin_dst_score(x).reshape(-1, self.heads, self.head_dim)
-        hidden = ops.tanh(gather(h_src, src) + gather(h_dst, dst))
+        hidden = ops.tanh(
+            gather(h_src, src, src_plan) + gather(h_dst, dst, dst_plan)
+        )
         return ops.sum(hidden * self.w_g, axis=-1)
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         x = as_tensor(x)
         h = self.lin(x)
         h_heads = h.reshape(-1, self.heads, self.head_dim)
         scores = self._edge_scores(x, h_heads, cache)  # (E, heads)
 
-        # Normalise per (destination, head) by flattening the two axes.
+        # Normalise per (destination, head) by flattening the two axes;
+        # the flattened segment layout is cached on the graph.
         num_edges = len(cache.src)
         flat_scores = scores.transpose().reshape(num_edges * self.heads)
-        seg = (
-            np.repeat(np.arange(self.heads), num_edges) * cache.num_nodes
-            + np.tile(cache.dst, self.heads)
+        seg, seg_plan = cache.head_layout(self.heads)
+        attention = segment_softmax(
+            flat_scores, seg, self.heads * cache.num_nodes, seg_plan
         )
-        attention = segment_softmax(flat_scores, seg, self.heads * cache.num_nodes)
         attention = attention.reshape(self.heads, num_edges).transpose()  # (E, heads)
 
-        messages = gather(h_heads, cache.src) * attention.reshape(num_edges, self.heads, 1)
-        out = segment_sum(messages, cache.dst, cache.num_nodes)
+        out = segment_attention_sum(
+            h_heads,
+            attention,
+            cache.src,
+            cache.dst,
+            cache.num_nodes,
+            cache.src_plan,
+            cache.dst_plan,
+        )
         return out.reshape(-1, self.heads * self.head_dim) + self.bias
 
 
@@ -197,11 +264,17 @@ class GINAggregator(NodeAggregator):
         self.mlp = MLP([in_dim, out_dim, out_dim], rng, activation="relu")
         self.eps = Parameter(np.zeros(1))
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         x = as_tensor(x)
-        neighbor_sum = segment_sum(
-            gather(x, cache.nbr_src), cache.nbr_dst, cache.num_nodes
-        )
+        if ctx is not None and ctx.x is x:
+            neighbor_sum = ctx.neighbor_sum()
+        else:
+            messages = self._source_features(x, cache, ctx, self_loops=False)
+            neighbor_sum = segment_sum(
+                messages, cache.nbr_dst, cache.num_nodes, cache.nbr_dst_plan
+            )
         combined = (1.0 + self.eps) * x + neighbor_sum
         return self.mlp(combined)
 
@@ -230,14 +303,27 @@ class GeniePathAggregator(NodeAggregator):
         self.cell.bias.data[:out_dim] = 1.0  # lint: disable=tape-mutation -- bias init before any forward pass records a tape
         self.cell.bias.data[3 * out_dim :] = 1.0  # lint: disable=tape-mutation -- bias init before any forward pass records a tape
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         h = self.lin(x)
         score_src = ops.sum(h * self.att_src.reshape(1, -1), axis=1)
         score_dst = ops.sum(h * self.att_dst.reshape(1, -1), axis=1)
-        scores = ops.tanh(gather(score_src, cache.src) + gather(score_dst, cache.dst))
-        attention = segment_softmax(scores, cache.dst, cache.num_nodes)
-        breadth = segment_sum(
-            gather(h, cache.src) * attention.reshape(-1, 1), cache.dst, cache.num_nodes
+        scores = ops.tanh(
+            gather(score_src, cache.src, cache.src_plan)
+            + gather(score_dst, cache.dst, cache.dst_plan)
+        )
+        attention = segment_softmax(
+            scores, cache.dst, cache.num_nodes, cache.dst_plan
+        )
+        breadth = segment_attention_sum(
+            h,
+            attention,
+            cache.src,
+            cache.dst,
+            cache.num_nodes,
+            cache.src_plan,
+            cache.dst_plan,
         )
         breadth = ops.tanh(breadth)
         state = self.cell.init_state(cache.num_nodes)

@@ -18,7 +18,7 @@ from repro.autograd.scatter import gather, segment_sum
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.autograd import functional as F
 from repro.gnn.aggregators import NodeAggregator
-from repro.gnn.common import GraphCache
+from repro.gnn.common import GraphCache, LayerContext
 from repro.nn.layers import MLP, Dropout, Linear
 from repro.nn.module import Module
 
@@ -47,9 +47,12 @@ class MLPAggregator(NodeAggregator):
         dims = [in_dim] + [width] * (depth - 1) + [out_dim]
         self.mlp = MLP(dims, rng, activation="relu")
 
-    def forward(self, x: Tensor, cache: GraphCache) -> Tensor:
+    def forward(
+        self, x: Tensor, cache: GraphCache, ctx: LayerContext | None = None
+    ) -> Tensor:
         x = as_tensor(x)
-        summed = segment_sum(gather(x, cache.src), cache.dst, cache.num_nodes)
+        messages = self._source_features(x, cache, ctx, self_loops=True)
+        summed = segment_sum(messages, cache.dst, cache.num_nodes, cache.dst_plan)
         return self.mlp(summed)
 
 

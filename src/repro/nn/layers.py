@@ -30,10 +30,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x) -> Tensor:
-        out = as_tensor(x) @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return ops.linear(as_tensor(x), self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

@@ -49,15 +49,8 @@ class LSTMCell(Module):
         h_prev, c_prev = state
         x = as_tensor(x)
         combined = ops.concatenate([x, h_prev], axis=1)
-        gates = combined @ self.weight + self.bias
-        d = self.hidden_dim
-        i_gate = F.sigmoid(gates[:, 0 * d : 1 * d])
-        f_gate = F.sigmoid(gates[:, 1 * d : 2 * d])
-        g_gate = F.tanh(gates[:, 2 * d : 3 * d])
-        o_gate = F.sigmoid(gates[:, 3 * d : 4 * d])
-        c_new = f_gate * c_prev + i_gate * g_gate
-        h_new = o_gate * F.tanh(c_new)
-        return h_new, c_new
+        gates = ops.linear(combined, self.weight, self.bias)
+        return F.lstm_gate_update(gates, c_prev)
 
 
 class BiLSTMAttention(Module):

@@ -14,7 +14,7 @@ strictly zero-overhead while disabled:
   ``repro.autograd.ops``, ``scatter``, and the closure-carrying subset
   of ``functional`` are swapped for timing wrappers. A frame stack
   separates *self* time from *cumulative* time, so composite ops (e.g.
-  ``segment_mean`` calling ``segment_sum``) do not double-count.
+  ``gather`` calling ``getitem``) do not double-count.
 
 Bound references taken before ``install()`` (e.g. the ``ACTIVATIONS``
 table binds ``relu`` at import time) bypass the wrappers; they still

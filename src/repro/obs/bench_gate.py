@@ -8,8 +8,10 @@ lower-is-better, ``*score*``/``*speedup*`` higher-is-better; metrics
 with no recognised token are reported but never gate.
 
 Wall-clock metrics are machine-dependent, so they get their own
-(looser) tolerance, and span timings are only gated when explicitly
-asked for (``--gate-spans``).
+(looser) tolerance — including ``speedup`` ratios, which are
+higher-is-better but derived from wall-clock and exactly as noisy —
+and span timings are only gated when explicitly asked for
+(``--gate-spans``).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.obs.report import format_table
 __all__ = [
     "MetricDelta",
     "metric_direction",
+    "is_wall_clock",
     "load_bench",
     "scalar_metrics",
     "compare_bench",
@@ -37,6 +40,10 @@ _LOWER_BETTER = frozenset(
 _HIGHER_BETTER = frozenset(
     {"score", "scores", "speedup", "accuracy", "acc", "f1", "auc", "hits", "mrr"}
 )
+# Higher-is-better metrics that are nevertheless ratios of wall-clock
+# measurements, so they inherit wall-clock noise and the looser
+# time tolerance.
+_WALL_CLOCK_RATIO = frozenset({"speedup"})
 
 
 def metric_direction(name: str) -> int:
@@ -47,6 +54,12 @@ def metric_direction(name: str) -> int:
     if tokens & _HIGHER_BETTER:
         return 1
     return 0
+
+
+def is_wall_clock(name: str) -> bool:
+    """True when a metric measures (or is a ratio of) wall-clock time."""
+    tokens = set(_TOKEN_RE.split(name.lower()))
+    return bool(tokens & (_LOWER_BETTER | _WALL_CLOCK_RATIO))
 
 
 def load_bench(path: str | Path) -> dict:
@@ -138,7 +151,7 @@ def compare_bench(
     deltas: list[MetricDelta] = []
     for name in sorted(set(base_metrics) | set(cur_metrics)):
         direction = metric_direction(name)
-        tol = time_tolerance if direction == -1 else tolerance
+        tol = time_tolerance if is_wall_clock(name) else tolerance
         deltas.append(
             _classify(
                 name, base_metrics.get(name), cur_metrics.get(name),

@@ -397,6 +397,70 @@ class TestNakedPrint:
         assert [f.rule_id for f in result.suppressed] == ["naked-print"]
 
 
+class TestBufferedScatter:
+    LIB_PATH = "src/repro/gnn/aggregators.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_ufunc_at_in_library_code(self):
+        result = self.run_at(
+            """
+            import numpy as np
+
+            def scatter(out, ids, values):
+                np.add.at(out, ids, values)
+                np.maximum.at(out, ids, values)
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["buffered-scatter"] * 2
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_kernel_module_is_exempt(self):
+        source = """
+            import numpy as np
+
+            def index_add(out, index, values):
+                np.add.at(out, index, values)
+            """
+        assert rule_ids(self.run_at(source, "src/repro/autograd/kernels.py")) == []
+
+    def test_outside_repro_package_is_out_of_scope(self):
+        source = """
+            import numpy as np
+            np.add.at(out, ids, values)
+            """
+        assert rule_ids(self.run_at(source, "benchmarks/common.py")) == []
+        assert rule_ids(self.run_at(source, "tests/test_cli.py")) == []
+
+    def test_other_at_attributes_are_clean(self):
+        result = self.run_at(
+            """
+            import numpy as np
+
+            def fine(df, frame):
+                frame.at[0, "col"] = 1
+                return np.add(1, 2)
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            import numpy as np
+            np.add.at(out, ids, values)  # lint: disable=buffered-scatter -- one-off
+            """,
+            self.LIB_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["buffered-scatter"]
+
+
 class TestSuppression:
     def test_inline_disable_moves_finding_to_suppressed(self):
         result = run(

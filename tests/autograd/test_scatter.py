@@ -5,6 +5,7 @@ import pytest
 
 from repro.autograd import Tensor, ops
 from repro.autograd.scatter import (
+    segment_attention_sum,
     gather,
     segment_count,
     segment_max,
@@ -137,3 +138,53 @@ class TestSegmentSoftmax:
         scores = Tensor(np.array([1e4, -1e4, 0.0, 1e4, 1e4, -1e4]))
         out = segment_softmax(scores, SEG, 3).data
         assert np.isfinite(out).all()
+
+
+class TestSegmentAttentionSum:
+    SRC = np.array([0, 2, 1, 4, 3, 5])
+
+    def test_matches_composed_spelling(self):
+        w = RNG.normal(size=6)
+        fused = segment_attention_sum(Tensor(DATA), Tensor(w), self.SRC, SEG, 3)
+        composed = segment_sum(
+            gather(Tensor(DATA), self.SRC) * Tensor(w[:, None]), SEG, 3
+        )
+        np.testing.assert_array_equal(fused.data, composed.data)
+
+    def test_multi_head_weights(self):
+        x = RNG.normal(size=(6, 2, 4))
+        w = RNG.normal(size=(6, 2))
+        fused = segment_attention_sum(Tensor(x), Tensor(w), self.SRC, SEG, 3)
+        composed = segment_sum(
+            gather(Tensor(x), self.SRC) * Tensor(w[:, :, None]), SEG, 3
+        )
+        np.testing.assert_array_equal(fused.data, composed.data)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="one more axis"):
+            segment_attention_sum(Tensor(DATA), Tensor(DATA), self.SRC, SEG, 3)
+
+    def test_gradcheck_features(self):
+        w = RNG.normal(size=6)
+        check_gradient(
+            lambda t: ops.sum(
+                segment_attention_sum(t, Tensor(w), self.SRC, SEG, 3) ** 2.0
+            ),
+            DATA,
+        )
+
+    def test_gradcheck_weights(self):
+        w = RNG.normal(size=6)
+        check_gradient(
+            lambda t: ops.sum(
+                segment_attention_sum(Tensor(DATA), t, self.SRC, SEG, 3) ** 2.0
+            ),
+            w,
+        )
+
+    def test_constant_weights_get_no_gradient(self):
+        x = Tensor(DATA.copy(), requires_grad=True)
+        w = Tensor(np.ones(6))
+        segment_attention_sum(x, w, self.SRC, SEG, 3).sum().backward()
+        assert x.grad is not None
+        assert w.grad is None

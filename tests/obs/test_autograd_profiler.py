@@ -88,15 +88,15 @@ class TestStats:
         x = Tensor(np.ones((6, 2)), requires_grad=True)
         ids = np.array([0, 0, 1, 1, 2, 2])
         with profile_autograd() as profiler:
-            scatter.segment_mean(x, ids, 3)
+            scatter.gather(x, ids)
         stats = by_name(profiler)
-        # segment_mean dispatches segment_sum internally, so the nested
-        # time is attributed to segment_sum and excluded from the
-        # parent's self time.
-        assert stats["segment_sum"]["calls"] == 1
-        mean = stats["segment_mean"]
-        assert mean["calls"] == 1
-        assert mean["forward_cum"] > mean["forward_self"]
+        # gather dispatches getitem internally, so the nested time is
+        # attributed to getitem and excluded from the parent's self
+        # time.
+        assert stats["getitem"]["calls"] == 1
+        outer = stats["gather"]
+        assert outer["calls"] == 1
+        assert outer["forward_cum"] > outer["forward_self"]
 
     def test_deterministic_timing_with_injected_clock(self):
         a = Tensor(np.ones(3), requires_grad=True)

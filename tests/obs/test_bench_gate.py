@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.bench_gate import (
     compare_bench,
+    is_wall_clock,
     load_bench,
     metric_direction,
     render_bench_diff,
@@ -83,6 +84,17 @@ class TestCompareBench:
         ok = compare_bench(base, _payload({"search_time_s.cora": 13.0}))  # +30%
         assert ok[0].status == "ok"
         bad = compare_bench(base, _payload({"search_time_s.cora": 16.0}))  # +60%
+        assert bad[0].status == "regression"
+
+    def test_speedup_ratio_uses_the_wall_clock_tolerance(self):
+        # A speedup gauge is higher-is-better but is a ratio of two
+        # wall-clock measurements — a 20% run-to-run wobble must not gate.
+        assert is_wall_clock("speedup.pubmed")
+        base = _payload({"speedup.pubmed": 2.5})
+        ok = compare_bench(base, _payload({"speedup.pubmed": 2.0}))  # -20%
+        assert ok[0].status == "ok"
+        assert not ok[0].gates
+        bad = compare_bench(base, _payload({"speedup.pubmed": 1.0}))  # -60%
         assert bad[0].status == "regression"
 
     def test_missing_metric_gates_and_new_metric_does_not(self):

@@ -62,7 +62,7 @@ class TestSessionTrace:
         names = {r["name"] for r in records if r["type"] == "span"}
         assert {"search:test", "search", "epoch", "weight_step"} <= names
         op_stats = [r for r in records if r["type"] == "op_stats"]
-        assert op_stats and any(s["name"] == "matmul" for s in op_stats[0]["data"])
+        assert op_stats and any(s["name"] == "linear" for s in op_stats[0]["data"])
         metrics = [r for r in records if r["type"] == "metrics"]
         assert metrics[0]["data"]["gauges"]["score"]["value"] == 1.0
 
