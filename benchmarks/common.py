@@ -23,9 +23,11 @@ import contextlib
 import dataclasses
 import json
 import os
+import time
 from pathlib import Path
 from typing import Iterator
 
+from repro.autograd.kernels import KernelCounters, count_kernels
 from repro.experiments.config import SCALES, Scale
 from repro.obs import InMemorySink, MetricsRegistry, TRACE_VERSION, aggregate_spans, get_tracer
 
@@ -68,10 +70,25 @@ def tracked_run(name: str) -> Iterator[BenchRun]:
     training loops, candidate evaluations) lands in the summary. Record
     headline numbers on ``run.metrics`` / ``run.extra`` inside the
     block; the JSON file is written on exit.
+
+    Segment-kernel byte counters ride along: every ``scatter_sum`` /
+    ``scatter_max`` / ``index_add`` call inside the block records bytes
+    read/written and elements reduced, and the snapshot lands in the
+    payload as ``kernel.<name>.bytes_moved`` / ``effective_gbps``
+    gauges plus the raw ``extra["kernel_counters"]`` table, so the
+    fused-vs-naive comparison is expressible as achieved bandwidth.
     """
     run = BenchRun(name=name, sink=InMemorySink(), metrics=MetricsRegistry())
-    with get_tracer().collect(run.sink):
+    counters = KernelCounters(clock=time.perf_counter)
+    with get_tracer().collect(run.sink), count_kernels(counters):
         yield run
+    for kernel, stats in counters.snapshot().items():
+        run.metrics.gauge(f"kernel.{kernel}.bytes_moved").set(stats["bytes_moved"])
+        if stats["effective_gbps"] is not None:
+            run.metrics.gauge(f"kernel.{kernel}.effective_gbps").set(
+                stats["effective_gbps"]
+            )
+    run.extra.setdefault("kernel_counters", counters.snapshot())
     emit_metrics(name, spans=run.sink.spans, metrics=run.metrics, extra=run.extra)
 
 

@@ -31,6 +31,12 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
 
     echo "==> bench regression gate"
     python -m repro report bench --bench-dir "$BENCH_DIR"
+
+    # Publish the fresh payloads to the repo root so the bench
+    # trajectory (wall-clock + kernel byte counters) is tracked across
+    # PRs, not just inside the throwaway tmp dir.
+    echo "==> publishing fresh BENCH_*.json to repo root"
+    cp "$BENCH_DIR"/BENCH_*.json .
 fi
 
 echo "CI OK"

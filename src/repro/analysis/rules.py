@@ -26,6 +26,7 @@ __all__ = [
     "AdHocTimingRule",
     "BufferedScatterRule",
     "NakedPrintRule",
+    "UncheckedNanSourceRule",
     "CORE_RULES",
 ]
 
@@ -522,6 +523,97 @@ class NakedPrintRule(Rule):
         return rest not in cls._EXEMPT
 
 
+class UncheckedNanSourceRule(Rule):
+    """Raw NaN-producing math on tape arrays outside the guarded modules.
+
+    ``np.log``/``np.sqrt`` and division are where NaN/Inf are born:
+    ``log(0)``, ``sqrt(-eps)``, ``x / 0``. The autograd modules
+    (``ops.py``, ``functional.py``, ``kernels.py``) own the guarded
+    implementations — epsilon clips, max-shifted softmaxes, masked
+    denominators — and the PR-5 health monitor can attribute anything
+    that still slips through to an op. A direct ``np.log(t.data)`` (or
+    a division whose operand reads ``.data`` / ``.numpy()``) elsewhere
+    sidesteps both layers: no guard, no tape entry, no provenance when
+    it produces the NaN that poisons the Eq. 2 mixture. Route the math
+    through the autograd ops or justify with
+    ``# lint: disable=unchecked-nan-source``.
+    """
+
+    rule_id = "unchecked-nan-source"
+    severity = Severity.ERROR
+    description = (
+        "raw np.log/np.sqrt/division on tape arrays outside "
+        "ops.py/functional.py/kernels.py"
+    )
+    node_types = (ast.Call, ast.BinOp)
+
+    _NAN_FUNCS = frozenset({"log", "log2", "log10", "log1p", "sqrt", "divide", "true_divide"})
+    _GUARDED = frozenset(
+        {
+            ("autograd", "ops.py"),
+            ("autograd", "functional.py"),
+            ("autograd", "kernels.py"),
+        }
+    )
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                return
+            parts = dotted.split(".")
+            if not (
+                len(parts) == 2
+                and parts[0] in ("np", "numpy")
+                and parts[1] in self._NAN_FUNCS
+            ):
+                return
+            if any(self._touches_tape(arg) for arg in node.args):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{dotted}() on a tape array can mint an unattributed "
+                    "NaN (log(0)/sqrt(-eps)); use the guarded op in "
+                    "repro.autograd or justify the site",
+                )
+            return
+        if isinstance(node.op, ast.Div) and (
+            self._touches_tape(node.left) or self._touches_tape(node.right)
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                "raw division involving a tape array risks an unattributed "
+                "divide-by-zero NaN/Inf; use the guarded autograd ops or "
+                "justify the site",
+            )
+
+    @staticmethod
+    def _touches_tape(node: ast.AST) -> bool:
+        """Operand subtree reads tensor storage (``.data`` / ``.numpy()``)."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Attribute) and child.attr == "data":
+                return True
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "numpy"
+            ):
+                return True
+        return False
+
+    @classmethod
+    def _in_scope(cls, path: str) -> bool:
+        """True inside ``repro`` minus the guarded autograd modules."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = tuple(parts[len(parts) - parts[::-1].index("repro"):])
+        return rest not in cls._GUARDED
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -534,4 +626,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     AdHocTimingRule,
     BufferedScatterRule,
     NakedPrintRule,
+    UncheckedNanSourceRule,
 )

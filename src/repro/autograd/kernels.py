@@ -28,6 +28,13 @@ implementation and for pinpointing kernel regressions. Select with
 
 Everything here operates on raw ``numpy.ndarray`` values — the
 differentiable wrappers live in :mod:`repro.autograd.scatter`.
+
+When a :class:`KernelCounters` collector is installed (PR 5, see
+``repro.obs``), every public kernel call additionally records bytes
+read/written and elements reduced — the raw numbers behind the
+fused-vs-naive *effective bandwidth* comparison in ``BENCH_*.json``.
+While no collector is installed the kernels pay one module-global load
+per call and nothing else.
 """
 
 from __future__ import annotations
@@ -51,6 +58,10 @@ __all__ = [
     "scatter_add_rows",
     "index_add",
     "is_row_index",
+    "KernelCounters",
+    "set_kernel_counters",
+    "get_kernel_counters",
+    "count_kernels",
 ]
 
 BACKENDS = ("naive", "fused")
@@ -206,6 +217,107 @@ def peek_plan(segment_ids: np.ndarray, num_segments: int) -> SegmentPlan | None:
 
 
 # ----------------------------------------------------------------------
+# kernel counters (bytes moved / elements reduced per call)
+# ----------------------------------------------------------------------
+class KernelCounters:
+    """Per-kernel bytes-read / bytes-written / elements-reduced counters.
+
+    Installed with :func:`set_kernel_counters` / :func:`count_kernels`;
+    while none is installed the kernels pay exactly one module-global
+    load per call (the same discipline as the autograd tape hook).
+    ``clock`` is optional and injectable (``repro.obs`` passes
+    ``time.perf_counter``; this module never reads a clock itself) —
+    with a clock, per-kernel seconds are accumulated so bytes-moved can
+    be expressed as achieved effective bandwidth.
+
+    Counting convention: *bytes read* covers the value and index arrays
+    a call consumes, *bytes written* the output it produces (for the
+    in-place :func:`index_add`, the updated slots), and *elements
+    reduced* the scalar elements folded into output slots. Counter
+    updates never touch the reduction arithmetic, so counted runs stay
+    bit-identical to uncounted ones.
+    """
+
+    __slots__ = ("clock", "stats")
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self.stats: dict[str, dict] = {}
+
+    def record(
+        self,
+        kernel: str,
+        bytes_read: int,
+        bytes_written: int,
+        elements: int,
+        seconds: float = 0.0,
+    ) -> None:
+        entry = self.stats.get(kernel)
+        if entry is None:
+            entry = self.stats[kernel] = {
+                "calls": 0,
+                "bytes_read": 0,
+                "bytes_written": 0,
+                "elements_reduced": 0,
+                "seconds": 0.0,
+            }
+        entry["calls"] += 1
+        entry["bytes_read"] += int(bytes_read)
+        entry["bytes_written"] += int(bytes_written)
+        entry["elements_reduced"] += int(elements)
+        entry["seconds"] += float(seconds)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Copy of the per-kernel stats, with derived totals/bandwidth."""
+        out: dict[str, dict] = {}
+        for kernel, entry in self.stats.items():
+            record = dict(entry)
+            moved = record["bytes_read"] + record["bytes_written"]
+            record["bytes_moved"] = moved
+            seconds = record["seconds"]
+            record["effective_gbps"] = (
+                moved / seconds / 1e9 if seconds > 0.0 else None
+            )
+            out[kernel] = record
+        return out
+
+
+_COUNTERS: KernelCounters | None = None
+
+
+def set_kernel_counters(counters: KernelCounters | None) -> None:
+    """Install (or with ``None`` remove) the kernel counter collector."""
+    global _COUNTERS
+    if (
+        counters is not None
+        and _COUNTERS is not None
+        and _COUNTERS is not counters
+    ):
+        raise RuntimeError("kernel counters are already installed")
+    _COUNTERS = counters
+
+
+def get_kernel_counters() -> KernelCounters | None:
+    """The installed collector (``None`` while counting is off)."""
+    return _COUNTERS
+
+
+@contextlib.contextmanager
+def count_kernels(counters: KernelCounters | None = None):
+    """Collect kernel counters inside the block; yields the collector."""
+    collector = counters if counters is not None else KernelCounters()
+    set_kernel_counters(collector)
+    try:
+        yield collector
+    finally:
+        set_kernel_counters(None)
+
+
+def _nbytes(array) -> int:
+    return int(getattr(array, "nbytes", 0))
+
+
+# ----------------------------------------------------------------------
 # kernels
 # ----------------------------------------------------------------------
 def scatter_sum(
@@ -220,9 +332,30 @@ def scatter_sum(
     bit-identical to the naive one (same per-slot accumulation order).
     """
     values = np.asarray(values)
+    counters = _COUNTERS
+    if counters is None:
+        return _scatter_sum_impl(values, segment_ids, num_segments, plan)
+    t_start = counters.clock() if counters.clock is not None else 0.0
+    out = _scatter_sum_impl(values, segment_ids, num_segments, plan)
+    counters.record(
+        "scatter_sum",
+        bytes_read=values.nbytes + _nbytes(segment_ids),
+        bytes_written=out.nbytes,
+        elements=values.size,
+        seconds=counters.clock() - t_start if counters.clock is not None else 0.0,
+    )
+    return out
+
+
+def _scatter_sum_impl(
+    values: np.ndarray,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None,
+) -> np.ndarray:
     if _BACKEND == "naive":
         out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
-        index_add(out, segment_ids, values)
+        _index_add_impl(out, segment_ids, values)
         return out
     if values.ndim == 1:
         out = np.bincount(segment_ids, weights=values, minlength=num_segments)
@@ -259,6 +392,27 @@ def scatter_max(
     fused path equals the naive one exactly — max is order-insensitive.
     """
     values = np.asarray(values)
+    counters = _COUNTERS
+    if counters is None:
+        return _scatter_max_impl(values, segment_ids, num_segments, plan)
+    t_start = counters.clock() if counters.clock is not None else 0.0
+    out = _scatter_max_impl(values, segment_ids, num_segments, plan)
+    counters.record(
+        "scatter_max",
+        bytes_read=values.nbytes + _nbytes(segment_ids),
+        bytes_written=out.nbytes,
+        elements=values.size,
+        seconds=counters.clock() - t_start if counters.clock is not None else 0.0,
+    )
+    return out
+
+
+def _scatter_max_impl(
+    values: np.ndarray,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None,
+) -> np.ndarray:
     out = np.full(
         (num_segments,) + values.shape[1:], -np.inf, dtype=np.float64
     )
@@ -305,6 +459,23 @@ def index_add(out: np.ndarray, index, values) -> None:
     boolean masks) take a plain in-place ``+=`` instead — bit-identical,
     without the unbuffered ufunc's per-element dispatch.
     """
+    counters = _COUNTERS
+    if counters is None:
+        _index_add_impl(out, index, values)
+        return
+    t_start = counters.clock() if counters.clock is not None else 0.0
+    _index_add_impl(out, index, values)
+    value_bytes = _nbytes(values)
+    counters.record(
+        "index_add",
+        bytes_read=value_bytes + _nbytes(index),
+        bytes_written=value_bytes,
+        elements=int(getattr(values, "size", 0)),
+        seconds=counters.clock() - t_start if counters.clock is not None else 0.0,
+    )
+
+
+def _index_add_impl(out: np.ndarray, index, values) -> None:
     if _selects_unique_elements(index):
         out[index] += values
     else:

@@ -37,12 +37,15 @@ __all__ = [
 
 _GRAD_ENABLED = True
 
-# Profiling hook installed by repro.obs.autograd while a profile is
-# active. ``None`` means disabled, and the only cost every op then pays
-# is one global load and an identity check in ``Tensor._from_op``. When
-# set, the hook is called with ``(data, parents, backward_fn)`` for
-# every dispatched op and returns the (possibly wrapped) backward
-# closure to record on the tape.
+# Observability hook installed while tape observers are active —
+# exactly one at a time; multiple observers (op profiler, numerics
+# health monitor, memory tracker) multiplex through the
+# ``repro.obs.tape`` chain rather than competing for this slot.
+# ``None`` means disabled, and the only cost every op then pays is one
+# global load and an identity check in ``Tensor._from_op``. When set,
+# the hook is called with ``(data, parents, backward_fn)`` for every
+# dispatched op and returns the (possibly wrapped) backward closure to
+# record on the tape.
 _TAPE_HOOK = None
 
 

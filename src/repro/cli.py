@@ -27,6 +27,8 @@ from pathlib import Path
 from repro.analysis import lint_paths, render_json, render_text
 from repro.autograd import kernels
 from repro.obs import ProfileSession, record_events, render_diff, render_run
+from repro.obs.health import MODES, HealthMonitor, NumericsAnomaly
+from repro.obs.memory import render_memory_report_file
 from repro.obs.bench_gate import compare_bench, load_bench, render_bench_diff
 from repro.experiments import (
     SCALES,
@@ -113,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record search-dynamics telemetry to this events JSONL file",
     )
+    search.add_argument(
+        "--check-numerics",
+        choices=MODES + ("off",),
+        default="off",
+        help="tape health monitor: 'raise' aborts on the first NaN/Inf "
+        "with op/edge/layer/epoch provenance, 'warn' records anomalies "
+        "and reports at the end, 'off' (default) installs nothing",
+    )
 
     baseline = commands.add_parser("baseline", help="train a human baseline")
     baseline.add_argument("name", help="e.g. gcn, gat-jk, lgcn")
@@ -168,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="interleave telemetry events into the trace file",
     )
+    profile.add_argument(
+        "--memory",
+        action="store_true",
+        help="track tape memory (live set, retained buffers) and append "
+        "a memory_stats record to the trace",
+    )
 
     report = commands.add_parser(
         "report", help="telemetry dashboards and the bench regression gate"
@@ -182,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_diff.add_argument("a", help="events/trace JSONL file (baseline)")
     report_diff.add_argument("b", help="events/trace JSONL file (candidate)")
+    report_memory = views.add_parser(
+        "memory", help="render the tape-memory hotspot table from a trace"
+    )
+    report_memory.add_argument(
+        "trace", help="trace JSONL recorded with `repro profile --memory`"
+    )
+    report_memory.add_argument(
+        "--top", type=int, default=10, help="rows per hotspot table"
+    )
     report_bench = views.add_parser(
         "bench", help="gate fresh BENCH_*.json files against committed baselines"
     )
@@ -221,7 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_common_options(
         stats, search, baseline, table, figure, lint, profile,
-        report, report_run, report_diff, report_bench,
+        report, report_run, report_diff, report_memory, report_bench,
     )
     return parser
 
@@ -256,22 +281,49 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "search":
         data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
-        if args.events:
-            with record_events(
-                args.events, label=f"search:{args.dataset}", spans=True
-            ):
-                run = run_sane(
-                    data, scale, seed=args.seed,
-                    num_layers=args.layers, epsilon=args.epsilon,
-                )
-        else:
-            run = run_sane(
+        monitor = None
+        if args.check_numerics != "off":
+            monitor = HealthMonitor(mode=args.check_numerics).install()
+
+        def run_search():
+            if args.events:
+                with record_events(
+                    args.events, label=f"search:{args.dataset}", spans=True
+                ):
+                    return run_sane(
+                        data, scale, seed=args.seed,
+                        num_layers=args.layers, epsilon=args.epsilon,
+                    )
+            return run_sane(
                 data, scale, seed=args.seed,
                 num_layers=args.layers, epsilon=args.epsilon,
             )
+
+        try:
+            run = run_search()
+        except NumericsAnomaly as anomaly:
+            print(f"repro search: numerics anomaly: {anomaly}", file=sys.stderr)
+            return 3
+        finally:
+            if monitor is not None:
+                monitor.uninstall()
         print(f"architecture: {run.architecture}")
         print(f"search time:  {run.search_time:.1f}s")
         print(f"test score:   {format_mean_std(run.test_scores)}")
+        if monitor is not None:
+            summary = monitor.summary()
+            print(
+                f"tape health:  {summary['checked_entries']} entries checked, "
+                f"{len(summary['anomalies'])} anomalies, "
+                f"{len(summary['dead_ops'])} dead-op sightings"
+            )
+            for entry in summary["anomalies"]:
+                print(
+                    "  anomaly: "
+                    f"{entry['kind']} in {entry['phase']} of op={entry['op']!r}, "
+                    f"edge={entry['edge']!r}, layer={entry['layer']}, "
+                    f"epoch={entry['epoch']}"
+                )
         if args.events:
             print(f"events:       {args.events} (render with `repro report run`)")
         return 0
@@ -316,6 +368,14 @@ def _run_report(args) -> int:
             print(render_diff(args.a, args.b))
         except (OSError, ValueError) as exc:
             print(f"repro report diff: error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.view == "memory":
+        try:
+            print(render_memory_report_file(args.trace, top=args.top))
+        except (OSError, ValueError) as exc:
+            print(f"repro report memory: error: {exc}", file=sys.stderr)
             return 2
         return 0
 
@@ -398,6 +458,7 @@ def _run_profile(args, scale) -> int:
         autograd=not args.no_autograd,
         label=label,
         events=args.events,
+        memory=args.memory,
     ) as session:
         if args.target == "search":
             run = run_sane(

@@ -23,7 +23,7 @@ import numpy as np
 from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
-from repro.obs import events
+from repro.obs import events, health
 from repro.obs.search_telemetry import SearchTelemetry, grad_l2_norm
 from repro.core.search_space import Architecture, SearchSpace
 from repro.core.supernet import SaneSupernet
@@ -197,8 +197,16 @@ class SaneSearcher:
         search_span = obs.span(
             "search", kind="search", algo="sane", mode=self._mode
         ).start()
+        monitor = health.get_monitor()
         for epoch in range(self.config.epochs):
             with obs.span("epoch", index=epoch):
+                # Health-only pre-step copies for the update/param scale
+                # gauges; pure reads, never taken while no monitor is on.
+                arch_before = (
+                    [p.data.copy() for p in self.supernet.arch_parameters()]
+                    if monitor is not None
+                    else None
+                )
                 with obs.span("alpha_step"):
                     val_loss = self._alpha_step()
                 # Telemetry-only reads of the post-clip gradients: pure
@@ -206,14 +214,19 @@ class SaneSearcher:
                 # so the seeded search stream is untouched either way.
                 arch_grad_norm = (
                     grad_l2_norm(self.supernet.arch_parameters())
-                    if events.enabled()
+                    if events.enabled() or monitor is not None
+                    else None
+                )
+                weight_before = (
+                    [p.data.copy() for p in self.supernet.weight_parameters()]
+                    if monitor is not None
                     else None
                 )
                 with obs.span("weight_step"):
                     train_loss = self._weight_step()
                 weight_grad_norm = (
                     grad_l2_norm(self.supernet.weight_parameters())
-                    if events.enabled()
+                    if events.enabled() or monitor is not None
                     else None
                 )
                 if self._w_scheduler is not None:
@@ -228,6 +241,22 @@ class SaneSearcher:
                     "layer": self.supernet.alpha_layer.data.copy(),
                 }
                 snapshots.append(snapshot)
+                if monitor is not None:
+                    monitor.observe_epoch(
+                        epoch,
+                        arch_params=self.supernet.arch_parameters(),
+                        weight_params=self.supernet.weight_parameters(),
+                        arch_before=arch_before,
+                        weight_before=weight_before,
+                        arch_grad_norm=arch_grad_norm,
+                        weight_grad_norm=weight_grad_norm,
+                        mixtures=snapshot,
+                        op_names={
+                            "node": self.space.node_ops,
+                            "skip": self.space.skip_ops,
+                            "layer": self.space.layer_ops,
+                        },
+                    )
                 telemetry.epoch(
                     epoch,
                     snapshot,

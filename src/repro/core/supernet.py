@@ -33,6 +33,7 @@ from repro.gnn.common import GraphCache, LayerContext
 from repro.gnn.layer_aggregators import create_layer_aggregator
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module, Parameter
+from repro.obs import health
 
 __all__ = ["SaneSupernet"]
 
@@ -169,10 +170,15 @@ class SaneSupernet(Module):
             # gather's adjoint scatter runs once per layer.
             ctx = LayerContext(h, cache)
             outputs = []
-            for candidate in candidates:
-                out = candidate(h, cache, ctx)
-                if self.normalize_ops:
-                    out = _row_normalize(out)
+            for name, candidate in zip(self.space.node_ops, candidates):
+                # Edge provenance for the health monitor; a shared no-op
+                # context manager while no monitor is installed.
+                with health.op_scope(
+                    edge=f"node/{layer_index}", layer=layer_index, op=name
+                ):
+                    out = candidate(h, cache, ctx)
+                    if self.normalize_ops:
+                        out = _row_normalize(out)
                 outputs.append(out)
             h = self.activation(ops.weighted_sum(outputs, weights))
             h = self.dropout(h)
@@ -189,18 +195,21 @@ class SaneSupernet(Module):
                 ops.getitem(self.alpha_skip, layer_index), len(self.space.skip_ops)
             )
             identity_index = self.space.skip_ops.index("identity")
-            skipped.append(output * weights[identity_index])
+            with health.op_scope(
+                edge=f"skip/{layer_index}", layer=layer_index, op="identity"
+            ):
+                skipped.append(output * weights[identity_index])
 
         # Layer-aggregator mixture (Eq. 5).
         weights = self._mixture(
             ops.getitem(self.alpha_layer, 0), len(self.layer_candidates)
         )
-        terms = [
-            projection(aggregator(skipped))
-            for aggregator, projection in zip(
-                self.layer_candidates, self.layer_projections
-            )
-        ]
+        terms = []
+        for name, aggregator, projection in zip(
+            self.space.layer_ops, self.layer_candidates, self.layer_projections
+        ):
+            with health.op_scope(edge="layer/0", layer=None, op=name):
+                terms.append(projection(aggregator(skipped)))
         return ops.weighted_sum(terms, weights)
 
     def forward(self, features, cache: GraphCache) -> Tensor:

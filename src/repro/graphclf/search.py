@@ -25,6 +25,7 @@ from repro.graphclf.pooling import POOLING_OPS, create_pooling_op
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs import health
 
 __all__ = ["GraphSearchConfig", "GraphSearchResult", "GraphSupernet", "search_graph_classifier"]
 
@@ -101,7 +102,12 @@ class GraphSupernet(Module):
             weights = F.softmax(ops.getitem(self.alpha_node, layer_index), axis=-1)
             mixed = None
             for op_index, candidate in enumerate(candidates):
-                term = candidate(h, batch.cache) * weights[op_index]
+                with health.op_scope(
+                    edge=f"node/{layer_index}",
+                    layer=layer_index,
+                    op=self.config.node_ops[op_index],
+                ):
+                    term = candidate(h, batch.cache) * weights[op_index]
                 mixed = term if mixed is None else mixed + term
             h = F.relu(mixed)
             h = self.dropout(h)
@@ -109,7 +115,10 @@ class GraphSupernet(Module):
         weights = F.softmax(ops.getitem(self.alpha_pool, 0), axis=-1)
         pooled = None
         for op_index, pool in enumerate(self.pool_candidates):
-            term = pool(h, batch.graph_ids, batch.num_graphs) * weights[op_index]
+            with health.op_scope(
+                edge="pool/0", layer=None, op=self.config.pooling_ops[op_index]
+            ):
+                term = pool(h, batch.graph_ids, batch.num_graphs) * weights[op_index]
             pooled = term if pooled is None else pooled + term
         return self.head(pooled)
 
@@ -142,9 +151,20 @@ def search_graph_classifier(
     val_batch = collate(dataset.val)
 
     history: list[tuple[float, float]] = []
+    monitor = health.get_monitor()
     search_span = obs.span("search", kind="search", algo="sane", task="graphclf").start()
     for epoch in range(config.epochs):
         with obs.span("epoch", index=epoch):
+            arch_before = (
+                [p.data.copy() for p in supernet.arch_parameters()]
+                if monitor is not None
+                else None
+            )
+            weight_before = (
+                [p.data.copy() for p in supernet.weight_parameters()]
+                if monitor is not None
+                else None
+            )
             supernet.train()
             supernet.zero_grad()
             with obs.span("alpha_step"):
@@ -163,6 +183,22 @@ def search_graph_classifier(
                 logits = supernet(val_batch).numpy()
             score = float((logits.argmax(axis=1) == val_batch.labels).mean())
             history.append((search_span.elapsed(), score))
+            if monitor is not None:
+                monitor.observe_epoch(
+                    epoch,
+                    arch_params=supernet.arch_parameters(),
+                    weight_params=supernet.weight_parameters(),
+                    arch_before=arch_before,
+                    weight_before=weight_before,
+                    mixtures={
+                        "node": supernet.alpha_node.data,
+                        "pool": supernet.alpha_pool.data,
+                    },
+                    op_names={
+                        "node": config.node_ops,
+                        "pool": config.pooling_ops,
+                    },
+                )
 
     search_span.finish()
     node_choices, pooling = supernet.derive()

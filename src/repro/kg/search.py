@@ -28,6 +28,7 @@ from repro.kg.metrics import evaluate_alignment
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs import health
 
 __all__ = ["AlignSearchConfig", "AlignSearchResult", "AlignSupernet", "search_alignment"]
 
@@ -101,8 +102,13 @@ class AlignSupernet(Module):
                 # magnitudes (otherwise large-magnitude ops like
                 # sage-max dominate the mixture gradient regardless of
                 # their stand-alone quality).
-                out = l2_normalize(candidate(h, cache))
-                term = out * weights[op_index]
+                with health.op_scope(
+                    edge=f"node/{layer_index}",
+                    layer=layer_index,
+                    op=self.config.node_ops[op_index],
+                ):
+                    out = l2_normalize(candidate(h, cache))
+                    term = out * weights[op_index]
                 mixed = term if mixed is None else mixed + term
             h = ops.tanh(mixed)
         return l2_normalize(h)
@@ -137,9 +143,20 @@ def search_alignment(
     )
 
     history: list[tuple[float, float]] = []
+    monitor = health.get_monitor()
     search_span = obs.span("search", kind="search", algo="sane", task="kg-align").start()
     for epoch in range(config.epochs):
         with obs.span("epoch", index=epoch):
+            arch_before = (
+                [p.data.copy() for p in supernet.arch_parameters()]
+                if monitor is not None
+                else None
+            )
+            weight_before = (
+                [p.data.copy() for p in supernet.weight_parameters()]
+                if monitor is not None
+                else None
+            )
             # alpha step on validation links.
             supernet.train()
             supernet.zero_grad()
@@ -171,6 +188,16 @@ def search_alignment(
                     z1_eval.numpy(), z2_eval.numpy(), dataset.val_links, ks=(1,)
                 )
             history.append((search_span.elapsed(), hits["zh->en"][1]))
+            if monitor is not None:
+                monitor.observe_epoch(
+                    epoch,
+                    arch_params=supernet.arch_parameters(),
+                    weight_params=supernet.weight_parameters(),
+                    arch_before=arch_before,
+                    weight_before=weight_before,
+                    mixtures={"node": supernet.alpha_node.data},
+                    op_names={"node": config.node_ops},
+                )
 
     search_span.finish()
     return AlignSearchResult(

@@ -18,7 +18,13 @@ the search-dynamics reports lean on. It has six parts —
   loss/score curves) the searchers and trainers emit into; a no-op
   unless an :class:`EventRecorder` is installed;
 * :mod:`repro.obs.search_report` + :mod:`repro.obs.bench_gate` — the
-  ``repro report run``/``diff``/``bench`` renderers.
+  ``repro report run``/``diff``/``bench`` renderers;
+* :mod:`repro.obs.tape` + :mod:`repro.obs.health` +
+  :mod:`repro.obs.memory` — the composable tape-hook chain and the PR-5
+  health layer on top of it: NaN/Inf/overflow detection with full op
+  provenance (:class:`NumericsAnomaly`), per-epoch gradient-health
+  gauges with dead-op detection, and tape memory accounting behind
+  ``repro report memory``.
 
 :class:`ProfileSession` bundles the profiling side for ``repro
 profile``::
@@ -41,6 +47,20 @@ from repro.obs.events import (
     EventRecorder,
     record_events,
 )
+from repro.obs.health import (
+    HealthMonitor,
+    NumericsAnomaly,
+    check_numerics,
+    get_monitor,
+    op_scope,
+)
+from repro.obs.memory import (
+    MemoryTracker,
+    render_memory_report,
+    render_memory_report_file,
+    track_memory,
+)
+from repro.obs.tape import active_tape_hooks, add_tape_hook, remove_tape_hook
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import SpanAggregate, aggregate_spans, format_table, hotspot_report
 from repro.obs.search_report import render_diff, render_run
@@ -76,4 +96,16 @@ __all__ = [
     "SearchTelemetry",
     "render_run",
     "render_diff",
+    "HealthMonitor",
+    "NumericsAnomaly",
+    "check_numerics",
+    "get_monitor",
+    "op_scope",
+    "MemoryTracker",
+    "track_memory",
+    "render_memory_report",
+    "render_memory_report_file",
+    "add_tape_hook",
+    "remove_tape_hook",
+    "active_tape_hooks",
 ]

@@ -3,8 +3,9 @@
 Two complementary mechanisms, both installed/removed together and both
 strictly zero-overhead while disabled:
 
-* **tape hook** — :func:`repro.autograd.set_tape_hook` plugs a callback
-  into ``Tensor._from_op``, the single dispatch point every
+* **tape hook** — the :mod:`repro.obs.tape` chain (over
+  :func:`repro.autograd.set_tape_hook`) plugs a callback into
+  ``Tensor._from_op``, the single dispatch point every
   differentiable op (primitive or composite) goes through. The hook
   counts tape entries, sums output-tensor bytes, and wraps each op's
   backward closure so the backward pass is timed per op. The op name is
@@ -30,7 +31,8 @@ import functools
 import time
 from typing import Callable, Iterator
 
-from repro.autograd import functional, ops, scatter, tensor
+from repro.autograd import functional, ops, scatter
+from repro.obs import tape
 
 __all__ = ["OpStats", "AutogradProfiler", "profile_autograd"]
 
@@ -109,7 +111,7 @@ class AutogradProfiler:
     def install(self) -> "AutogradProfiler":
         if self.installed:
             return self
-        tensor.set_tape_hook(self._tape_hook)  # raises if one is active
+        tape.add_tape_hook(self._tape_hook)  # raises if a foreign hook is active
         targets = [
             (ops, tuple(ops.__all__)),
             (scatter, tuple(scatter.__all__)),
@@ -131,7 +133,7 @@ class AutogradProfiler:
         for module, name, original in reversed(self._originals):
             setattr(module, name, original)
         self._originals.clear()
-        tensor.set_tape_hook(None)
+        tape.remove_tape_hook(self._tape_hook)
         self._frames.clear()
         self.installed = False
 
@@ -174,6 +176,10 @@ class AutogradProfiler:
                 stats.backward_calls += 1
                 stats.backward_time += clock() - t_start
 
+        # keep the op name derivable for hooks chained after this one
+        timed_backward.__qualname__ = getattr(
+            backward_fn, "__qualname__", timed_backward.__qualname__
+        )
         return timed_backward
 
 

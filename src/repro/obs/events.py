@@ -25,6 +25,16 @@ Event schema (one JSON object per line, inside a v1 trace)::
 
     {"type": "event", "seq": 0, "event": "<name>",
      "epoch": 3?, "t": 1.25?, "data": {...}?}
+
+PR 5 extends the v1 vocabulary (same record shape, new ``event``
+kinds) with the tape-health stream: ``numerics_anomaly`` (a NaN / Inf /
+overflow with op/edge/layer/span provenance, warn mode only —
+raise mode aborts instead), ``grad_health`` (per-epoch alpha/weight
+grad norms, their ratio, and update/param scales), and ``dead_op``
+(a mixture weight underflowed the monitor's epsilon). Traces may also
+carry a ``"type": "memory_stats"`` record — the
+:class:`repro.obs.memory.MemoryTracker` snapshot behind ``repro report
+memory``.
 """
 
 from __future__ import annotations

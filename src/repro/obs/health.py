@@ -1,0 +1,467 @@
+"""Tape health: numerics anomaly detection with full op provenance.
+
+The third observability pillar (after "where does time go", PR 2, and
+"why did the search converge", PR 3): *is the computation healthy*. A
+NaN born in one candidate's ``segment_softmax`` poisons the Eq. 2
+mixture, then the alpha gradients, then the derived genotype — and
+without this layer nothing notices until the final score looks wrong.
+
+:class:`HealthMonitor` plugs into the same ``Tensor._from_op`` dispatch
+point as the op profiler (via the :mod:`repro.obs.tape` chain) and
+checks every op's forward output, and every gradient its VJP produces,
+for NaN / Inf / overflow. On the first anomaly it raises (mode
+``"raise"``) or records (mode ``"warn"``) a :class:`NumericsAnomaly`
+carrying the op name, the supernet edge / layer the op ran under (from
+:func:`op_scope` annotations), the search epoch, and the span path —
+enough to name the exact faulty op without a debugger.
+
+Provenance comes from two always-cheap sources:
+
+* **op scopes** — ``SaneSupernet.embed`` wraps each candidate call in
+  :func:`op_scope`; while no monitor is installed the function returns
+  a shared no-op context manager, so the annotated forward stays
+  bit-identical to an unannotated one;
+* **the span stack** — the process tracer records nesting whether or
+  not sinks are attached, so the epoch index and span path are read
+  off ``get_tracer()`` at anomaly time (forward) or captured at
+  forward time for the backward check.
+
+The monitor also aggregates per-epoch gradient-health gauges (alpha /
+weight grad-norm ratio, update-to-parameter scale, dead-op detection
+when a mixture weight underflows :attr:`HealthMonitor.dead_op_eps`)
+fed by the searchers, and emits them as ``grad_health`` / ``dead_op``
+events when an event recorder is installed (DESIGN section 7).
+
+Like every obs layer: strictly a no-op unless installed, draws nothing
+from the seeded RNG stream, and leaves instrumented runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.obs import events
+from repro.obs import tape
+from repro.obs.spans import get_tracer
+
+__all__ = [
+    "NumericsAnomaly",
+    "HealthMonitor",
+    "op_scope",
+    "current_op_scope",
+    "install",
+    "uninstall",
+    "get_monitor",
+    "enabled",
+    "check_numerics",
+]
+
+MODES = ("raise", "warn")
+
+
+class NumericsAnomaly(RuntimeError):
+    """A non-finite (or overflowing) value on the autograd tape.
+
+    Carries full provenance so the failure names itself: which op,
+    which supernet edge and layer, which epoch, and the span path the
+    dispatch happened under. ``phase`` is ``"forward"`` for op outputs
+    and ``"backward"`` for gradients produced by an op's VJP.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        phase: str,
+        op: str,
+        edge: str | None = None,
+        layer: int | None = None,
+        epoch: int | None = None,
+        span_path: str | None = None,
+    ):
+        self.kind = kind
+        self.phase = phase
+        self.op = op
+        self.edge = edge
+        self.layer = layer
+        self.epoch = epoch
+        self.span_path = span_path
+        where = [f"op={op!r}"]
+        if edge is not None:
+            where.append(f"edge={edge!r}")
+        if layer is not None:
+            where.append(f"layer={layer}")
+        if epoch is not None:
+            where.append(f"epoch={epoch}")
+        if span_path:
+            where.append(f"span={span_path!r}")
+        super().__init__(f"{kind} in {phase} of {', '.join(where)}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "phase": self.phase,
+            "op": self.op,
+            "edge": self.edge,
+            "layer": self.layer,
+            "epoch": self.epoch,
+            "span_path": self.span_path,
+        }
+
+
+# ---------------------------------------------------------------------
+# op scopes: supernet-edge provenance for tape-level anomalies
+# ---------------------------------------------------------------------
+_SCOPES: list[dict] = []
+
+
+class _OpScope:
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: dict):
+        self.attrs = attrs
+
+    def __enter__(self) -> "_OpScope":
+        _SCOPES.append(self.attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _SCOPES.pop()
+        return False
+
+
+class _NullScope:
+    """Shared do-nothing scope returned while no monitor is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def op_scope(edge: str | None = None, layer: int | None = None, op: str | None = None):
+    """Annotate the ops dispatched inside the block with edge provenance.
+
+    While no monitor is installed this returns a shared no-op context
+    manager — the annotated code path performs no list mutation, no
+    allocation, and no RNG draws, keeping monitor-off runs
+    bit-identical.
+    """
+    if _MONITOR is None:
+        return _NULL_SCOPE
+    return _OpScope({"edge": edge, "layer": layer, "op": op})
+
+
+def current_op_scope() -> dict | None:
+    """The innermost active op-scope annotation, if any."""
+    return _SCOPES[-1] if _SCOPES else None
+
+
+def _span_provenance() -> tuple[int | None, str]:
+    """(epoch index, span path) read off the process tracer's stack."""
+    stack = get_tracer()._stack
+    epoch = None
+    for span in reversed(stack):
+        if span.name == "epoch":
+            index = span.attrs.get("index")
+            epoch = int(index) if index is not None else None
+            break
+    return epoch, "/".join(span.name for span in stack)
+
+
+def _op_name(backward_fn) -> str:
+    qualname = getattr(backward_fn, "__qualname__", "") or ""
+    name = qualname.split(".", 1)[0]
+    return name or "<anonymous>"
+
+
+# ---------------------------------------------------------------------
+# the monitor
+# ---------------------------------------------------------------------
+class HealthMonitor:
+    """Checks tape values for NaN/Inf/overflow; aggregates health gauges.
+
+    Parameters
+    ----------
+    mode:
+        ``"raise"`` aborts on the first anomaly; ``"warn"`` records it
+        (see :attr:`anomalies`) and keeps going. Warn-mode anomalies are
+        also emitted as ``numerics_anomaly`` events when an event
+        recorder is installed.
+    overflow:
+        Absolute magnitude above which a *finite* value counts as an
+        overflow anomaly (headroom before float64 saturates to inf).
+    dead_op_eps:
+        Mixture weights below this are reported as dead ops.
+    """
+
+    def __init__(
+        self,
+        mode: str = "raise",
+        overflow: float = 1e100,
+        dead_op_eps: float = 1e-6,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.overflow = float(overflow)
+        self.dead_op_eps = float(dead_op_eps)
+        self.anomalies: list[NumericsAnomaly] = []
+        self.checked_entries = 0
+        self.epoch_reports: list[dict] = []
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "HealthMonitor":
+        if not self.installed:
+            # Claim the singleton before touching the tape chain, so a
+            # conflicting install leaves no orphaned hook behind.
+            install(self)
+            try:
+                tape.add_tape_hook(self._tape_hook)
+            except Exception:
+                uninstall(self)
+                raise
+            self.installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self.installed:
+            tape.remove_tape_hook(self._tape_hook)
+            self.installed = False
+            uninstall(self)
+
+    # ------------------------------------------------------------------
+    def _classify(self, array: np.ndarray) -> str | None:
+        """Anomaly kind for ``array``, or None when it is healthy."""
+        if array.dtype.kind not in "fc":
+            return None
+        if not np.isfinite(array).all():
+            return "NaN" if np.isnan(array).any() else "Inf"
+        if array.size and float(np.abs(array).max()) > self.overflow:
+            return "overflow"
+        return None
+
+    def _report(self, anomaly: NumericsAnomaly) -> None:
+        if self.mode == "raise":
+            raise anomaly
+        self.anomalies.append(anomaly)
+        data = anomaly.to_dict()
+        events.emit("numerics_anomaly", epoch=data.pop("epoch"), **data)
+
+    def _tape_hook(self, data, parents, backward_fn):
+        self.checked_entries += 1
+        op = _op_name(backward_fn)
+        scope = current_op_scope() or {}
+        kind = self._classify(np.asarray(data))
+        epoch, span_path = _span_provenance()
+        edge = scope.get("edge")
+        layer = scope.get("layer")
+        if kind is not None:
+            self._report(
+                NumericsAnomaly(
+                    kind, "forward", op,
+                    edge=edge, layer=layer, epoch=epoch, span_path=span_path,
+                )
+            )
+        monitor = self
+
+        def checked_backward(grad):
+            parent_grads = backward_fn(grad)
+            for parent_grad in parent_grads:
+                if parent_grad is None:
+                    continue
+                bad = monitor._classify(np.asarray(parent_grad))
+                if bad is not None:
+                    monitor._report(
+                        NumericsAnomaly(
+                            bad, "backward", op,
+                            edge=edge, layer=layer, epoch=epoch,
+                            span_path=span_path,
+                        )
+                    )
+                    break
+            return parent_grads
+
+        checked_backward.__qualname__ = getattr(
+            backward_fn, "__qualname__", checked_backward.__qualname__
+        )
+        return checked_backward
+
+    # ------------------------------------------------------------------
+    # per-epoch gradient health (fed by the searchers / trainer)
+    # ------------------------------------------------------------------
+    def observe_epoch(
+        self,
+        epoch: int,
+        arch_params=(),
+        weight_params=(),
+        arch_before=None,
+        weight_before=None,
+        mixtures: dict[str, np.ndarray] | None = None,
+        op_names: dict[str, tuple[str, ...]] | None = None,
+        arch_grad_norm: float | None = None,
+        weight_grad_norm: float | None = None,
+    ) -> dict:
+        """Record one epoch's gradient-health gauges.
+
+        ``mixtures`` maps edge kind (``node``/``skip``/``layer``) to the
+        raw alpha matrix for that kind; rows are softmaxed here (pure
+        deterministic numpy, no RNG) to find dead ops. ``*_before`` are
+        pre-step parameter copies for the update/param scale gauge.
+        Callers that measured grad norms at the right moment (right
+        after each step, before ``zero_grad``) pass them via
+        ``*_grad_norm``; otherwise they are read off the params' current
+        ``.grad`` slots.
+        """
+        arch_grad = (
+            arch_grad_norm if arch_grad_norm is not None else _grad_norm(arch_params)
+        )
+        weight_grad = (
+            weight_grad_norm
+            if weight_grad_norm is not None
+            else _grad_norm(weight_params)
+        )
+        report = {
+            "epoch": int(epoch),
+            "arch_grad_norm": arch_grad,
+            "weight_grad_norm": weight_grad,
+            "grad_ratio": (
+                arch_grad / weight_grad if weight_grad > 0.0 else None
+            ),
+            "arch_update_scale": _update_scale(arch_params, arch_before),
+            "weight_update_scale": _update_scale(weight_params, weight_before),
+        }
+        dead = _dead_ops(mixtures or {}, op_names or {}, self.dead_op_eps)
+        report["dead_ops"] = dead
+        self.epoch_reports.append(report)
+        events.emit(
+            "grad_health",
+            epoch=epoch,
+            **{k: v for k, v in report.items() if k not in ("epoch", "dead_ops")},
+        )
+        for entry in dead:
+            events.emit("dead_op", epoch=epoch, **entry)
+        return report
+
+    def dead_ops(self) -> list[dict]:
+        """Every dead-op sighting across the recorded epochs."""
+        return [
+            dict(entry, epoch=report["epoch"])
+            for report in self.epoch_reports
+            for entry in report["dead_ops"]
+        ]
+
+    def summary(self) -> dict:
+        """Roll-up for CLI output: anomaly and dead-op counts."""
+        return {
+            "mode": self.mode,
+            "checked_entries": self.checked_entries,
+            "anomalies": [a.to_dict() for a in self.anomalies],
+            "epochs_observed": len(self.epoch_reports),
+            "dead_ops": self.dead_ops(),
+        }
+
+
+def _grad_norm(params) -> float:
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.sum(param.grad * param.grad))
+    return float(np.sqrt(total))
+
+
+def _update_scale(params, before) -> float | None:
+    """``||p_new - p_old|| / ||p_old||`` aggregated over a param group."""
+    if before is None:
+        return None
+    delta = 0.0
+    base = 0.0
+    for param, old in zip(params, before):
+        diff = param.data - old
+        delta += float(np.sum(diff * diff))
+        base += float(np.sum(old * old))
+    if base <= 0.0:
+        return None
+    return float(np.sqrt(delta) / np.sqrt(base))
+
+
+def _dead_ops(
+    mixtures: dict[str, np.ndarray],
+    op_names: dict[str, tuple[str, ...]],
+    eps: float,
+) -> list[dict]:
+    """Ops whose softmax mixture weight underflowed ``eps``."""
+    dead: list[dict] = []
+    for kind in sorted(mixtures):
+        alpha = np.asarray(mixtures[kind], dtype=np.float64)
+        shifted = alpha - alpha.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        names = op_names.get(kind, ())
+        for layer, row in enumerate(weights):
+            for index in np.flatnonzero(row < eps):
+                op = names[int(index)] if int(index) < len(names) else str(int(index))
+                dead.append(
+                    {
+                        "edge": f"{kind}/{layer}",
+                        "layer": int(layer),
+                        "op": op,
+                        "weight": float(row[int(index)]),
+                    }
+                )
+    return dead
+
+
+# ---------------------------------------------------------------------
+# the process-wide monitor (mirrors the events-recorder singleton)
+# ---------------------------------------------------------------------
+_MONITOR: HealthMonitor | None = None
+
+
+def install(monitor: HealthMonitor) -> None:
+    """Make ``monitor`` the process-wide health monitor."""
+    global _MONITOR
+    if _MONITOR is not None and _MONITOR is not monitor:
+        raise RuntimeError("a HealthMonitor is already installed")
+    _MONITOR = monitor
+
+
+def uninstall(monitor: HealthMonitor | None = None) -> None:
+    """Remove the installed monitor (no-op if ``monitor`` is not it)."""
+    global _MONITOR
+    if monitor is None or _MONITOR is monitor:
+        _MONITOR = None
+
+
+def get_monitor() -> HealthMonitor | None:
+    """The installed monitor, if any."""
+    return _MONITOR
+
+
+def enabled() -> bool:
+    """True when a health monitor is installed."""
+    return _MONITOR is not None
+
+
+@contextlib.contextmanager
+def check_numerics(
+    mode: str = "raise",
+    overflow: float = 1e100,
+    dead_op_eps: float = 1e-6,
+) -> Iterator[HealthMonitor]:
+    """Install a :class:`HealthMonitor` for the duration of the block."""
+    monitor = HealthMonitor(mode=mode, overflow=overflow, dead_op_eps=dead_op_eps)
+    monitor.install()
+    try:
+        yield monitor
+    finally:
+        monitor.uninstall()

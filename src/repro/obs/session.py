@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.obs import events as events_mod
 from repro.obs.autograd import AutogradProfiler
+from repro.obs.memory import MemoryTracker, render_memory_report
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import hotspot_report
 from repro.obs.sinks import InMemorySink, JsonlSink
@@ -36,6 +37,11 @@ class ProfileSession:
     sink is installed for the block, so search/training telemetry
     events interleave with the span records in one file — which
     ``repro report run`` and ``report diff`` can then consume directly.
+
+    With ``memory=True`` a :class:`~repro.obs.memory.MemoryTracker`
+    rides along on the tape-hook chain and a ``memory_stats`` record is
+    appended to the trace on exit, which ``repro report memory`` renders
+    as the hotspot table.
     """
 
     def __init__(
@@ -45,6 +51,7 @@ class ProfileSession:
         label: str = "profile",
         tracer: Tracer | None = None,
         events: bool = False,
+        memory: bool = False,
     ):
         self.tracer = tracer or get_tracer()
         self.trace_path = Path(trace_path) if trace_path else None
@@ -52,6 +59,7 @@ class ProfileSession:
         self.metrics = MetricsRegistry()
         self.memory = InMemorySink()
         self.profiler = AutogradProfiler(clock=self.tracer.clock) if autograd else None
+        self.tracker = MemoryTracker() if memory else None
         if events and self.trace_path is None:
             raise ValueError("events=True requires a trace_path to write to")
         self._events = events
@@ -73,6 +81,10 @@ class ProfileSession:
                 label=self.label, clock=self.tracer.clock, sink=self._jsonl
             )
             events_mod.install(self.recorder)
+        # Tracker first: it must see the original backward closures to
+        # account retained bytes, before the profiler wraps them.
+        if self.tracker is not None:
+            self.tracker.install()
         if self.profiler is not None:
             self.profiler.install()
         self._root = self.tracer.span(self.label, kind="profile").start()
@@ -82,12 +94,18 @@ class ProfileSession:
         self._root.finish()
         if self.profiler is not None:
             self.profiler.uninstall()
+        if self.tracker is not None:
+            self.tracker.uninstall()
         if self.recorder is not None:
             events_mod.uninstall(self.recorder)
             self.recorder = None
         if self._jsonl is not None:
             self._jsonl.write_op_stats(self.op_stats())
             self._jsonl.write_metrics(self.metrics)
+            if self.tracker is not None:
+                self._jsonl.write_record(
+                    {"type": "memory_stats", "data": self.tracker.stats()}
+                )
             self.tracer.remove_sink(self._jsonl)
             self._jsonl.close()
             self._jsonl = None
@@ -98,6 +116,9 @@ class ProfileSession:
     def op_stats(self) -> list[dict]:
         return self.profiler.stats() if self.profiler is not None else []
 
+    def memory_stats(self) -> dict | None:
+        return self.tracker.stats() if self.tracker is not None else None
+
     @property
     def duration(self) -> float:
         """Wall time of the profiled block (root span duration)."""
@@ -105,9 +126,14 @@ class ProfileSession:
 
     def report(self, top: int = 10) -> str:
         """Render the hotspot report for everything collected so far."""
-        return hotspot_report(
+        text = hotspot_report(
             self.memory.spans,
             op_stats=self.op_stats(),
             metrics=self.metrics.snapshot() if len(self.metrics) else None,
             top=top,
         )
+        if self.tracker is not None:
+            text = "\n\n".join(
+                [text, render_memory_report(self.tracker.stats(), top=top)]
+            )
+        return text

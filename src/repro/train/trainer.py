@@ -17,7 +17,7 @@ import numpy as np
 from repro import obs
 from repro.autograd import functional as F
 from repro.autograd import no_grad
-from repro.obs import events
+from repro.obs import events, health
 from repro.graph.data import Graph, MultiGraphDataset
 from repro.gnn.common import GraphCache
 from repro.nn.module import Module
@@ -78,11 +78,17 @@ def train_transductive(
     history: list[tuple[float, float]] = []
     events.emit("train_start", mode="transductive", epochs=config.epochs)
     train_span = obs.span("train", kind="train", mode="transductive").start()
+    monitor = health.get_monitor()
     since_best = 0
     for epoch in range(config.epochs):
         with obs.span("epoch", index=epoch):
             model.train()
             optimizer.zero_grad()
+            weight_before = (
+                [p.data.copy() for p in model.parameters()]
+                if monitor is not None
+                else None
+            )
             with obs.span("forward"):
                 logits = model(graph.features, cache)
                 loss = F.cross_entropy(logits[train_mask], labels[train_mask])
@@ -90,6 +96,12 @@ def train_transductive(
                 loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
+            if monitor is not None:
+                monitor.observe_epoch(
+                    epoch,
+                    weight_params=model.parameters(),
+                    weight_before=weight_before,
+                )
 
             model.eval()
             with obs.span("eval"), no_grad():
@@ -160,11 +172,17 @@ def train_inductive(
     history: list[tuple[float, float]] = []
     events.emit("train_start", mode="inductive", epochs=config.epochs)
     train_span = obs.span("train", kind="train", mode="inductive").start()
+    monitor = health.get_monitor()
     since_best = 0
     for epoch in range(config.epochs):
         with obs.span("epoch", index=epoch):
             model.train()
             epoch_loss = 0.0
+            weight_before = (
+                [p.data.copy() for p in model.parameters()]
+                if monitor is not None
+                else None
+            )
             for graph in dataset.train_graphs:
                 optimizer.zero_grad()
                 with obs.span("forward"):
@@ -177,6 +195,12 @@ def train_inductive(
                 clip_grad_norm(model.parameters(), config.grad_clip)
                 optimizer.step()
                 epoch_loss += loss.item()
+            if monitor is not None:
+                monitor.observe_epoch(
+                    epoch,
+                    weight_params=model.parameters(),
+                    weight_before=weight_before,
+                )
 
             with obs.span("eval"):
                 val_score, val_loss = _score_graphs(model, dataset.val_graphs, caches)

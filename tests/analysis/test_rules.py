@@ -461,6 +461,85 @@ class TestBufferedScatter:
         assert [f.rule_id for f in result.suppressed] == ["buffered-scatter"]
 
 
+class TestUncheckedNanSource:
+    LIB_PATH = "src/repro/gnn/aggregators.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_nan_producing_ufuncs_on_tape_data(self):
+        result = self.run_at(
+            """
+            import numpy as np
+
+            def attention(scores):
+                return np.log(scores.data), np.sqrt(scores.data)
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["unchecked-nan-source"] * 2
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_flags_division_with_tape_operand(self):
+        result = self.run_at(
+            """
+            def normalize(h, degrees):
+                left = h.data / degrees
+                right = degrees / h.numpy()
+                return left, right
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["unchecked-nan-source"] * 2
+
+    def test_non_tape_operands_are_clean(self):
+        result = self.run_at(
+            """
+            import numpy as np
+
+            def stable(x):
+                return np.log(x + 1.0), np.sqrt(np.abs(x)), x / 2.0
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_guarded_autograd_modules_are_exempt(self):
+        source = """
+            import numpy as np
+
+            def log_op(x):
+                return np.log(x.data)
+            """
+        assert rule_ids(self.run_at(source, "src/repro/autograd/ops.py")) == []
+        assert (
+            rule_ids(self.run_at(source, "src/repro/autograd/functional.py")) == []
+        )
+        assert rule_ids(self.run_at(source, "src/repro/autograd/kernels.py")) == []
+
+    def test_outside_repro_package_is_out_of_scope(self):
+        source = """
+            import numpy as np
+            ratio = np.log(t.data) / t.data
+            """
+        assert rule_ids(self.run_at(source, "benchmarks/common.py")) == []
+        assert rule_ids(self.run_at(source, "tests/test_cli.py")) == []
+        assert rule_ids(self.run_at(source, "snippet.py")) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            import numpy as np
+            y = np.log(t.data)  # lint: disable=unchecked-nan-source -- clamped
+            """,
+            self.LIB_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["unchecked-nan-source"]
+
+
 class TestSuppression:
     def test_inline_disable_moves_finding_to_suppressed(self):
         result = run(

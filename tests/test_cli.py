@@ -275,6 +275,84 @@ def _tiny_graph_for_cli():
     return _make_tiny_graph()
 
 
+class TestHealthCommand:
+    def test_parser_accepts_check_numerics(self):
+        args = build_parser().parse_args(
+            ["search", "cora", "--check-numerics", "warn"]
+        )
+        assert args.check_numerics == "warn"
+        assert build_parser().parse_args(["search", "cora"]).check_numerics == "off"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "cora", "--check-numerics", "loud"])
+
+    def test_search_warn_mode_prints_tape_health(self, capsys):
+        code = main(
+            ["--scale", "smoke", "search", "cora", "--layers", "2",
+             "--check-numerics", "warn"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tape health:" in out
+        assert "0 anomalies" in out
+
+    def test_raise_mode_anomaly_exits_3_with_provenance(self, capsys, monkeypatch):
+        from repro.obs.health import NumericsAnomaly, get_monitor
+
+        def poisoned_run(*args, **kwargs):
+            raise NumericsAnomaly(
+                "NaN", "forward", "mul", edge="node/1", layer=1, epoch=4
+            )
+
+        monkeypatch.setattr("repro.cli.run_sane", poisoned_run)
+        code = main(
+            ["--scale", "smoke", "search", "cora", "--check-numerics", "raise"]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "numerics anomaly" in err
+        assert "op='mul'" in err
+        assert "edge='node/1'" in err
+        assert "epoch=4" in err
+        # The monitor is uninstalled even on the failure path.
+        from repro.autograd.tensor import get_tape_hook
+
+        assert get_monitor() is None
+        assert get_tape_hook() is None
+
+
+class TestMemoryCommand:
+    def test_parser_accepts_memory_flags(self):
+        args = build_parser().parse_args(["profile", "search", "--memory"])
+        assert args.memory is True
+        args = build_parser().parse_args(["report", "memory", "t.jsonl", "--top", "3"])
+        assert args.view == "memory"
+        assert args.trace == "t.jsonl"
+        assert args.top == 3
+
+    def test_profile_memory_then_report_memory(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["--scale", "smoke", "profile", "search", "--dataset", "cora",
+             "--layers", "2", "--memory", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "== Tape memory:" in capsys.readouterr().out
+        assert main(["report", "memory", str(trace), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "== Tape memory: peak live" in out
+        assert "span paths by peak live bytes" in out
+
+    def test_report_memory_without_record_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["--scale", "smoke", "profile", "search", "--dataset", "cora",
+             "--layers", "2", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "memory", str(trace)]) == 2
+        assert "no memory_stats record" in capsys.readouterr().err
+
+
 class TestLintCommand:
     def test_parser_accepts_paths_and_format(self):
         args = build_parser().parse_args(["lint", "src/repro", "--format", "json"])
