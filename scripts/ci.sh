@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-command CI: lint, tier-1 tests, smoke-scale suite + benches, bench gate.
+# One-command CI: lint, autograd contract check, tier-1 tests,
+# smoke-scale suite + benches, bench gate.
 #
 #   scripts/ci.sh            # full pipeline (writes fresh benches to a tmp dir)
 #   SKIP_BENCH=1 scripts/ci.sh   # lint + tests only (no bench regeneration)
@@ -15,6 +16,9 @@ export PYTHONPATH=src
 
 echo "==> repro lint"
 python -m repro lint
+
+echo "==> repro check (autograd contracts)"
+python -m repro check
 
 echo "==> tier-1 tests (default scale)"
 python -m pytest -x -q

@@ -1,0 +1,158 @@
+"""Closure-capture weight: what each backward keeps alive, classified.
+
+A backward closure pins everything it references until the tape node is
+freed. Most captures are cheap — the parents (whose arrays the tape
+already holds), the op's own output, index/id arrays, scalars, plans.
+The expensive kind is a **derived full array**: a mask, gating factor
+or gathered copy materialised on the forward pass purely for the
+backward. Those are a deliberate retain-vs-recompute decision, so each
+one must be declared in :mod:`repro.autograd.contracts`; an undeclared
+one is an ``undeclared-capture`` error.
+
+The machine-readable capture report (``repro check --format json``)
+names ops exactly like the runtime memory tracker
+(``backward_fn.__qualname__`` first segment — see
+``repro.obs.memory``), so static capture classes line up with the
+retained-closure bytes ``repro report memory`` measures at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow.contracts import ContractTable
+from repro.analysis.dataflow.ir import (
+    HEAVY,
+    INDEX,
+    PLAN,
+    RNG,
+    SCALAR,
+    TENSOR,
+    TENSOR_DATA,
+    TENSOR_LIST,
+    TENSOR_VIEW,
+    FromOpSite,
+    free_names,
+)
+from repro.analysis.dataflow.vjp import _backward_nodes
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["classify_site_captures", "capture_findings"]
+
+_KIND_LABELS = {
+    TENSOR: "parent",
+    TENSOR_LIST: "parents",
+    TENSOR_DATA: "parent-data",
+    TENSOR_VIEW: "parent-view",
+    INDEX: "index",
+    SCALAR: "scalar",
+    PLAN: "plan",
+    RNG: "rng",
+    HEAVY: "derived-array",
+}
+
+
+def _parent_names(site: FromOpSite) -> set[str]:
+    expr = site.parents_arg
+    names: set[str] = set()
+
+    def collect(node: ast.expr | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                collect(element)
+        elif isinstance(node, ast.Starred):
+            collect(node.value)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+            for bound, _guards in site.bindings.get(node.id, []):
+                if isinstance(bound, (ast.Tuple, ast.List, ast.IfExp)):
+                    collect(bound)
+        elif isinstance(node, ast.IfExp):
+            collect(node.body)
+            collect(node.orelse)
+
+    collect(expr)
+    return names
+
+
+def _output_name(site: FromOpSite) -> str | None:
+    data = site.data_arg
+    if isinstance(data, ast.Name):
+        return data.id
+    return None
+
+
+def classify_site_captures(
+    site: FromOpSite, contracts: ContractTable
+) -> dict | None:
+    """The capture record of one ``_from_op`` site (None when no closure)."""
+    backwards = _backward_nodes(site)
+    if not backwards:
+        return None
+    function = site.function
+    contract = contracts.get(function.key)
+    parents = _parent_names(site)
+    output = _output_name(site)
+
+    captured: dict[str, dict] = {}
+    for backward in backwards:
+        for name in sorted(free_names(backward, site.env)):
+            if name in captured:
+                continue
+            value = site.env.get(name)
+            kind = value.kind if value is not None else "unknown"
+            if name in parents:
+                label = "parent"
+            elif name == output:
+                label = "output"
+            else:
+                label = _KIND_LABELS.get(kind, "opaque")
+            declared = name in contract.retains
+            entry = {
+                "name": name,
+                "kind": label,
+                "declared": declared,
+            }
+            if declared and contract.reason:
+                entry["reason"] = contract.reason
+            captured[name] = entry
+
+    # The op label follows backward_fn.__qualname__.split(".", 1)[0] —
+    # the convention repro.obs.memory uses for retained-closure bytes.
+    return {
+        "op": function.name,
+        "module": function.module,
+        "symbol": function.key,
+        "line": site.call.lineno,
+        "captures": sorted(captured.values(), key=lambda e: e["name"]),
+    }
+
+
+def capture_findings(
+    record: dict, contracts: ContractTable, path: str
+) -> Iterator[Finding]:
+    """Errors for derived full arrays retained without a contract."""
+    symbol = record["symbol"]
+    contract = contracts.get(symbol)
+    for entry in record["captures"]:
+        if entry["kind"] != "derived-array":
+            continue
+        if entry["name"] in contract.retains:
+            continue
+        yield Finding(
+            rule_id="undeclared-capture",
+            severity=Severity.ERROR,
+            path=path,
+            line=record["line"],
+            col=0,
+            message=(
+                f"{symbol}: backward retains derived array "
+                f"{entry['name']!r} beyond parents/output; declare it in "
+                "repro.autograd.contracts (retains=...) with a reason, or "
+                "recompute it inside the backward"
+            ),
+            symbol=symbol,
+        )

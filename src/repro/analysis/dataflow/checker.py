@@ -1,0 +1,152 @@
+"""Orchestrates the four dataflow analyses into one check run.
+
+:func:`check_paths` is the engine behind ``repro check``: build the
+:class:`~repro.analysis.dataflow.ir.Program`, load contracts, run the
+effect fixpoint, then the per-site VJP and capture analyses, apply
+inline ``# lint: disable=`` suppressions (same syntax as the linter)
+and the committed baseline, and return everything in the shared
+:class:`~repro.analysis.engine.AnalysisResult` shape so the existing
+reporters, sorting and severity accounting apply unchanged.
+
+The baseline (``src/repro/analysis/check_baseline.json``) grandfathers
+known findings: each entry matches on ``(rule, path suffix, symbol)``
+— deliberately not on line numbers, so unrelated edits do not churn
+it. Baselined findings are reported separately and do not fail the
+check; removing the code (or declaring a contract) removes the entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.dataflow.captures import capture_findings, classify_site_captures
+from repro.analysis.dataflow.contracts import ContractTable, load_contracts
+from repro.analysis.dataflow.effects import (
+    AnalyzedProgram,
+    analyze_program,
+    escape_findings,
+    purity_findings,
+)
+from repro.analysis.dataflow.ir import Program
+from repro.analysis.dataflow.vjp import check_vjp_site
+from repro.analysis.engine import AnalysisResult, collect_suppressions
+from repro.analysis.findings import Finding
+from repro.analysis.linter import discover_files
+
+__all__ = ["CheckResult", "check_paths", "load_baseline", "DEFAULT_BASELINE"]
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "check_baseline.json"
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Findings, grandfathered findings, and the capture report."""
+
+    result: AnalysisResult
+    baselined: list[Finding] = dataclasses.field(default_factory=list)
+    captures: list[dict] = dataclasses.field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero exactly when unbaselined error findings exist."""
+        return 1 if self.result.error_count else 0
+
+
+def load_baseline(path: str | Path | None = None) -> list[dict]:
+    """The committed baseline entries ([] when the file is absent)."""
+    baseline_path = Path(path) if path is not None else DEFAULT_BASELINE
+    if not baseline_path.is_file():
+        return []
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", payload) if isinstance(payload, dict) else payload
+    return [e for e in entries if isinstance(e, dict)]
+
+
+def _matches_baseline(finding: Finding, entries: list[dict]) -> bool:
+    normalized = finding.path.replace("\\", "/")
+    for entry in entries:
+        if entry.get("rule") != finding.rule_id:
+            continue
+        suffix = str(entry.get("path", "")).replace("\\", "/")
+        if suffix and not normalized.endswith(suffix):
+            continue
+        symbol = entry.get("symbol")
+        if symbol is not None and symbol != finding.symbol:
+            continue
+        return True
+    return False
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    baseline_path: str | Path | None = None,
+    contracts: ContractTable | None = None,
+) -> CheckResult:
+    """Run the dataflow checks over every python file under ``paths``."""
+    files = discover_files(paths)
+    program = Program.build(files)
+    if contracts is None:
+        contracts = load_contracts(program)
+    analyzed = analyze_program(program)
+
+    findings, captures = _collect(analyzed, contracts)
+
+    # Inline suppressions: same ``# lint: disable=<rule>`` syntax and
+    # semantics as the linter, so one mechanism serves both commands.
+    suppressions = {
+        module.path: collect_suppressions(module.source)
+        for module in program.modules.values()
+    }
+    baseline = load_baseline(baseline_path)
+
+    result = AnalysisResult(files=len(files))
+    baselined: list[Finding] = []
+    for finding in findings:
+        disabled = suppressions.get(finding.path, {}).get(finding.line, set())
+        if finding.rule_id in disabled or "all" in disabled:
+            result.suppressed.append(finding)
+        elif _matches_baseline(finding, baseline):
+            baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    result.sort()
+    baselined.sort(key=lambda f: f.sort_key)
+    return CheckResult(result=result, baselined=baselined, captures=captures)
+
+
+def _collect(
+    analyzed: AnalyzedProgram, contracts: ContractTable
+) -> tuple[list[Finding], list[dict]]:
+    findings: list[Finding] = []
+    captures: list[dict] = []
+    paths = {
+        name: module.path for name, module in analyzed.program.modules.items()
+    }
+    for site in sorted(
+        analyzed.from_op_sites,
+        key=lambda s: (s.function.module, s.call.lineno),
+    ):
+        path = paths.get(site.function.module, site.function.module)
+        findings.extend(check_vjp_site(site, contracts, path))
+        record = classify_site_captures(site, contracts)
+        if record is not None:
+            record["path"] = path
+            captures.append(record)
+            findings.extend(capture_findings(record, contracts, path))
+    findings.extend(escape_findings(analyzed, contracts))
+    findings.extend(purity_findings(analyzed, contracts))
+    return _dedupe(findings), captures
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    seen: set[tuple] = set()
+    unique: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.line, finding.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(finding)
+    return unique

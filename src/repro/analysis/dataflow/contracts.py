@@ -1,0 +1,143 @@
+"""Static reader for the autograd contract declarations.
+
+Contracts live with the code they describe
+(:mod:`repro.autograd.contracts`): a literal ``CONTRACTS`` table plus
+an optional ``@contract(...)`` decorator form. Both are read *off the
+AST* here — the checker never imports the package under analysis, so
+it can check a tree that does not import cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.analysis.dataflow.ir import ModuleInfo, Program
+
+__all__ = ["Contract", "ContractTable", "load_contracts"]
+
+_EMPTY_TUPLE: tuple = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Contract:
+    """Declared deviations of one function (all fields default empty)."""
+
+    retains: tuple[str, ...] = _EMPTY_TUPLE
+    mutates: tuple[str, ...] = _EMPTY_TUPLE
+    globals: tuple[str, ...] = _EMPTY_TUPLE
+    nondiff: tuple[int, ...] = _EMPTY_TUPLE
+    reason: str = ""
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "Contract":
+        return cls(
+            retains=tuple(mapping.get("retains", ())),
+            mutates=tuple(mapping.get("mutates", ())),
+            globals=tuple(mapping.get("globals", ())),
+            nondiff=tuple(int(i) for i in mapping.get("nondiff", ())),
+            reason=str(mapping.get("reason", "")),
+        )
+
+
+_EMPTY_CONTRACT = Contract()
+
+
+@dataclasses.dataclass
+class ContractTable:
+    """Merged contract declarations, keyed by ``module.qualname``."""
+
+    entries: dict[str, Contract] = dataclasses.field(default_factory=dict)
+
+    def get(self, key: str) -> Contract:
+        return self.entries.get(key, _EMPTY_CONTRACT)
+
+    def declare(self, key: str, contract: Contract) -> None:
+        existing = self.entries.get(key)
+        if existing is None:
+            self.entries[key] = contract
+        else:
+            self.entries[key] = Contract(
+                retains=existing.retains + contract.retains,
+                mutates=existing.mutates + contract.mutates,
+                globals=existing.globals + contract.globals,
+                nondiff=existing.nondiff + contract.nondiff,
+                reason=existing.reason or contract.reason,
+            )
+
+
+def _table_from_module(module: ModuleInfo, table: ContractTable) -> None:
+    """Read the literal ``CONTRACTS`` dict off the contracts module AST."""
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        if "CONTRACTS" not in targets:
+            continue
+        try:
+            literal = ast.literal_eval(stmt.value)
+        except ValueError:
+            continue  # non-literal table: decorator form still applies
+        if isinstance(literal, dict):
+            for key, mapping in literal.items():
+                if isinstance(key, str) and isinstance(mapping, dict):
+                    table.declare(key, Contract.from_mapping(mapping))
+
+
+def _decorators_from_module(module: ModuleInfo, table: ContractTable) -> None:
+    """Read ``@contract(...)`` keyword literals off function definitions."""
+    for info in module.functions.values():
+        for decorator in info.node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            name = decorator.func
+            called = (
+                name.id
+                if isinstance(name, ast.Name)
+                else name.attr
+                if isinstance(name, ast.Attribute)
+                else None
+            )
+            if called != "contract":
+                continue
+            mapping: dict = {}
+            for keyword in decorator.keywords:
+                if keyword.arg is None:
+                    continue
+                try:
+                    mapping[keyword.arg] = ast.literal_eval(keyword.value)
+                except ValueError:
+                    continue
+            table.declare(info.key, Contract.from_mapping(mapping))
+
+
+def load_contracts(program: Program) -> ContractTable:
+    """Contracts for ``program``: the table module plus all decorators.
+
+    An annotated-assign form of ``CONTRACTS`` (``CONTRACTS: dict = {...}``)
+    is also honoured via the plain-assign scan because the contracts
+    module uses ``CONTRACTS: dict[str, dict] = {...}``.
+    """
+    table = ContractTable()
+    contracts_module = program.modules.get("contracts")
+    if contracts_module is not None:
+        _table_from_module(contracts_module, table)
+        # CONTRACTS is declared with an annotation; cover AnnAssign too.
+        for stmt in contracts_module.tree.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "CONTRACTS"
+                and stmt.value is not None
+            ):
+                try:
+                    literal = ast.literal_eval(stmt.value)
+                except ValueError:
+                    continue
+                if isinstance(literal, dict):
+                    for key, mapping in literal.items():
+                        if isinstance(key, str) and isinstance(mapping, dict):
+                            table.declare(key, Contract.from_mapping(mapping))
+    for module in program.modules.values():
+        _decorators_from_module(module, table)
+    return table

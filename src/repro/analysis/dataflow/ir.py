@@ -1,0 +1,1269 @@
+"""Program model and storage-class interpreter for the dataflow checks.
+
+The IR is deliberately shallow: modules are parsed ASTs plus symbol
+tables, and the "dataflow" part is a flow-sensitive abstract
+interpreter (:class:`Interp`) that walks one function body in statement
+order tracking, per local name, a :class:`Value` — *what kind of thing
+it is* (tensor, tensor storage, derived array, index array, scalar,
+plan, …) and *which storage class backs it* (freshly allocated here, a
+caller-owned parameter, tape-promoted, module-global).
+
+The four analyses consume the facts the interpreter collects:
+
+* ``from_op_sites`` — every ``Tensor._from_op`` call with a snapshot of
+  the environment and name bindings at the call point (VJP + captures);
+* ``escape_writes`` — writes whose target resolves to param/tape
+  storage (in-place escape);
+* ``mutated_params`` / ``global_writes`` / ``returns_fresh`` — the
+  interprocedural effect summary (kernel purity, and propagation of
+  callee mutations to caller arguments).
+
+Flow-sensitivity is what lets ``segment_max`` patch its freshly
+allocated output *before* the ``_from_op`` call without a finding,
+while the same write after tape promotion is flagged: the data
+argument (and every array a backward closure captures) is promoted to
+``tape`` storage at the ``_from_op`` statement, and closures are
+interpreted afterwards against that final environment.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import dataclasses
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "Value",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "Summary",
+    "FromOpSite",
+    "EscapeWrite",
+    "Interp",
+    "dotted_name",
+]
+
+# ---------------------------------------------------------------------------
+# value kinds and storage classes
+# ---------------------------------------------------------------------------
+# kinds (what the value is — drives capture classification)
+TENSOR = "tensor"  # a Tensor object
+TENSOR_LIST = "tensor-list"  # list/tuple of Tensors (variadic parents)
+TENSOR_DATA = "tensor-data"  # bare X.data of a Tensor
+TENSOR_VIEW = "tensor-view"  # zero-copy view of tensor storage
+HEAVY = "heavy"  # full-size derived array (a real allocation)
+INDEX = "index"  # integer index / id / count array
+SCALAR = "scalar"  # number, shape, bool, string
+PLAN = "plan"  # SegmentPlan
+RNG = "rng"  # np.random.Generator
+SELF = "self"
+UNKNOWN = "unknown"
+
+_TENSORISH = frozenset({TENSOR, TENSOR_LIST, TENSOR_DATA, TENSOR_VIEW, HEAVY})
+
+# storage classes (who owns the backing memory — drives escape analysis)
+FRESH = "fresh"  # allocated inside the current function
+PARAM_STORE = "param"  # caller-owned (parameter or alias of one)
+TAPE = "tape"  # promoted onto the autograd tape
+GLOBAL_STORE = "global"  # module-global container
+NO_STORE = "none"  # scalars etc.
+
+_KIND_PRIORITY = {
+    HEAVY: 9,
+    TENSOR_DATA: 8,
+    TENSOR_VIEW: 7,
+    TENSOR: 6,
+    TENSOR_LIST: 6,
+    RNG: 5,
+    PLAN: 4,
+    INDEX: 3,
+    SCALAR: 2,
+    SELF: 1,
+    UNKNOWN: 0,
+}
+_STORE_PRIORITY = {TAPE: 4, PARAM_STORE: 3, GLOBAL_STORE: 2, UNKNOWN: 1, FRESH: 1, NO_STORE: 0}
+
+
+@dataclasses.dataclass(frozen=True)
+class Value:
+    """Abstract value of one local name: (kind, storage class)."""
+
+    kind: str = UNKNOWN
+    storage: str = FRESH
+
+    def join(self, other: "Value") -> "Value":
+        kind = max((self.kind, other.kind), key=lambda k: _KIND_PRIORITY.get(k, 0))
+        storage = max(
+            (self.storage, other.storage),
+            key=lambda s: _STORE_PRIORITY.get(s, 0),
+        )
+        return Value(kind, storage)
+
+
+_SCALAR_VALUE = Value(SCALAR, NO_STORE)
+_UNKNOWN_VALUE = Value(UNKNOWN, UNKNOWN)
+
+# names that, as parameters, denote integer index/id arrays or sizes
+INDEX_PARAM_NAMES = frozenset(
+    {
+        "index",
+        "indices",
+        "segment_ids",
+        "src_index",
+        "dst_index",
+        "order",
+        "targets",
+        "axes",
+        "axis",
+        "shape",
+        "num_segments",
+        "num_rows",
+        "minlength",
+        "row_width",
+    }
+)
+
+_ALLOCATORS = frozenset(
+    {
+        "zeros",
+        "zeros_like",
+        "ones",
+        "ones_like",
+        "empty",
+        "empty_like",
+        "full",
+        "full_like",
+        "array",
+        "copy",
+        "eye",
+    }
+)
+_INDEX_PRODUCERS = frozenset(
+    {"arange", "argsort", "flatnonzero", "searchsorted", "argmax", "argmin"}
+)
+_SCALAR_CASTS = frozenset({"float", "int", "bool", "len", "str", "id", "repr"})
+# array-returning methods that alias their receiver's storage
+_VIEW_METHODS = frozenset({"reshape", "ravel", "swapaxes", "transpose", "view"})
+_SCALAR_ATTRS = frozenset({"shape", "size", "ndim", "dtype", "nbytes", "requires_grad"})
+_SCALAR_METHODS = frozenset({"item", "tolist", "get", "keys", "values", "sum_scalar"})
+# container-mutating methods: calling one on a *module-global name* is a
+# global write (``_PLAN_MEMO.move_to_end`` / ``.popitem``)
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "move_to_end",
+        "sort",
+        "fill",
+    }
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# program model
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class FunctionInfo:
+    """One analyzed function (module-level or method)."""
+
+    module: str
+    qualname: str
+    node: ast.FunctionDef
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def key(self) -> str:
+        """Contract-table key: ``module.qualname``."""
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def param_positions(self) -> dict[str, int]:
+        args = self.node.args
+        positional = [a.arg for a in args.posonlyargs + args.args]
+        return {name: i for i, name in enumerate(positional)}
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """Parsed module plus symbol tables."""
+
+    name: str  # stem, e.g. "kernels"
+    path: str
+    tree: ast.Module
+    source: str
+    functions: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    import_aliases: dict[str, str] = dataclasses.field(default_factory=dict)
+    global_names: set[str] = dataclasses.field(default_factory=set)
+    exported: set[str] = dataclasses.field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: str | Path, source: str | None = None) -> "ModuleInfo":
+        path = Path(path)
+        if source is None:
+            source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        info = cls(name=path.stem, path=str(path), tree=tree, source=source)
+        info._collect()
+        return info
+
+    def _collect(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.FunctionDef):
+                self.functions[stmt.name] = FunctionInfo(
+                    module=self.name, qualname=stmt.name, node=stmt
+                )
+                self.global_names.add(stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                self.global_names.add(stmt.name)
+                for item in stmt.body:
+                    if isinstance(item, ast.FunctionDef):
+                        qualname = f"{stmt.name}.{item.name}"
+                        self.functions[qualname] = FunctionInfo(
+                            module=self.name,
+                            qualname=qualname,
+                            node=item,
+                            class_name=stmt.name,
+                        )
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.import_aliases[local] = alias.name
+                    self.global_names.add(local)
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    module = stmt.module or ""
+                    self.import_aliases[local] = f"{module}.{alias.name}"
+                    self.global_names.add(local)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.global_names.add(target.id)
+                        if target.id == "__all__" and isinstance(
+                            stmt.value, (ast.List, ast.Tuple)
+                        ):
+                            self.exported.update(
+                                elt.value
+                                for elt in stmt.value.elts
+                                if isinstance(elt, ast.Constant)
+                                and isinstance(elt.value, str)
+                            )
+
+    def public_functions(self) -> list[FunctionInfo]:
+        """Module-level functions in ``__all__`` (or all non-underscore)."""
+        out = []
+        for qualname, info in self.functions.items():
+            if info.is_method:
+                continue
+            if self.exported:
+                if qualname in self.exported:
+                    out.append(info)
+            elif info.is_public:
+                out.append(info)
+        return out
+
+
+@dataclasses.dataclass
+class Program:
+    """The analyzed module set with cross-module call resolution."""
+
+    modules: dict[str, ModuleInfo] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def build(cls, paths: Iterable[str | Path]) -> "Program":
+        program = cls()
+        for path in paths:
+            info = ModuleInfo.parse(path)
+            program.modules[info.name] = info
+        return program
+
+    def functions(self) -> Iterable[FunctionInfo]:
+        for module in self.modules.values():
+            yield from module.functions.values()
+
+    def resolve_call(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> FunctionInfo | None:
+        """The FunctionInfo a call refers to, when statically resolvable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            target = module.functions.get(name)
+            if target is not None:
+                return target
+            alias = module.import_aliases.get(name)
+            if alias and "." in alias:
+                # ``from repro.autograd.kernels import scatter_sum``
+                mod_path, _, attr = alias.rpartition(".")
+                target_module = self.modules.get(mod_path.rpartition(".")[2])
+                if target_module is not None:
+                    return target_module.functions.get(attr)
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            alias = module.import_aliases.get(base, base)
+            # ``from repro.autograd import kernels`` -> alias "repro.autograd.kernels"
+            target_module = self.modules.get(alias.rpartition(".")[2])
+            if target_module is not None:
+                return target_module.functions.get(func.attr)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# interpreter outputs
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class FromOpSite:
+    """One ``Tensor._from_op`` call site with its local context."""
+
+    function: FunctionInfo
+    call: ast.Call
+    env: dict[str, Value]
+    bindings: dict[str, list[tuple[ast.expr, tuple[ast.expr, ...]]]]
+    closures: dict[str, list[ast.AST]]
+
+    @property
+    def data_arg(self) -> ast.expr | None:
+        return self.call.args[0] if len(self.call.args) >= 1 else None
+
+    @property
+    def parents_arg(self) -> ast.expr | None:
+        return self.call.args[1] if len(self.call.args) >= 2 else None
+
+    @property
+    def backward_arg(self) -> ast.expr | None:
+        return self.call.args[2] if len(self.call.args) >= 3 else None
+
+
+@dataclasses.dataclass
+class EscapeWrite:
+    """A write whose target resolves to caller/tape-owned tensor storage."""
+
+    function: FunctionInfo
+    node: ast.AST
+    target: str  # rendered target, e.g. "a.data" or "mask"
+    storage: str  # PARAM_STORE or TAPE
+    in_backward: bool
+    via_call: str | None = None  # callee name when the write is interprocedural
+
+
+@dataclasses.dataclass
+class Summary:
+    """Interprocedural effect summary of one function."""
+
+    mutated_params: set[str] = dataclasses.field(default_factory=set)
+    global_writes: set[str] = dataclasses.field(default_factory=set)
+    returns_fresh: bool = True
+
+    def copy(self) -> "Summary":
+        return Summary(
+            set(self.mutated_params), set(self.global_writes), self.returns_fresh
+        )
+
+
+# ---------------------------------------------------------------------------
+# the interpreter
+# ---------------------------------------------------------------------------
+def _annotation_text(node: ast.expr | None) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return ""
+
+
+def _initial_param_value(arg: ast.arg) -> Value:
+    text = _annotation_text(arg.annotation)
+    name = arg.arg
+    if name == "self":
+        return Value(SELF, PARAM_STORE)
+    if name in INDEX_PARAM_NAMES:
+        return Value(INDEX, PARAM_STORE)
+    if "SegmentPlan" in text:
+        return Value(PLAN, PARAM_STORE)
+    if "Generator" in text:
+        return Value(RNG, PARAM_STORE)
+    if any(t in text for t in ("int", "float", "bool", "str")) and "ndarray" not in text:
+        return Value(SCALAR, NO_STORE)
+    if "Tensor" in text:
+        return Value(TENSOR, PARAM_STORE)
+    if "ndarray" in text:
+        return Value(HEAVY, PARAM_STORE)
+    return Value(UNKNOWN, PARAM_STORE)
+
+
+def _is_pure_view_slice(node: ast.expr) -> bool:
+    """True when a subscript cannot copy (slices/ints/None/Ellipsis only)."""
+    parts = node.elts if isinstance(node, ast.Tuple) else [node]
+    for part in parts:
+        if isinstance(part, ast.Slice):
+            continue
+        if isinstance(part, ast.Constant) and (
+            part.value is None
+            or part.value is Ellipsis
+            or isinstance(part.value, (int, bool))
+        ):
+            continue
+        if isinstance(part, ast.UnaryOp) and isinstance(part.operand, ast.Constant):
+            continue
+        return False
+    return True
+
+
+class Interp:
+    """Flow-sensitive walk of one function body collecting analysis facts."""
+
+    def __init__(
+        self,
+        function: FunctionInfo,
+        module: ModuleInfo,
+        program: Program,
+        summaries: dict[str, Summary],
+        *,
+        closure_env: dict[str, Value] | None = None,
+        in_backward: bool = False,
+    ):
+        self.function = function
+        self.module = module
+        self.program = program
+        self.summaries = summaries
+        self.in_backward = in_backward
+
+        self.env: dict[str, Value] = {}
+        if closure_env:
+            self.env.update(closure_env)
+        args = function.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if in_backward:
+                # The incoming gradient may alias the caller's buffer;
+                # writing through it is an escape.
+                self.env[arg.arg] = Value(HEAVY, PARAM_STORE)
+            else:
+                self.env[arg.arg] = _initial_param_value(arg)
+        if args.vararg:
+            self.env[args.vararg.arg] = Value(UNKNOWN, PARAM_STORE)
+        if args.kwarg:
+            self.env[args.kwarg.arg] = Value(UNKNOWN, PARAM_STORE)
+
+        self.declared_globals: set[str] = set()
+        # name -> [(value expr, enclosing If-test chain), ...]
+        self.bindings: dict[str, list[tuple[ast.expr, tuple[ast.expr, ...]]]] = {}
+        self.closures: dict[str, list[ast.AST]] = {}
+        # Keyed by AST node identity: loop bodies are interpreted twice
+        # (abstract second iteration), which must not duplicate facts.
+        self._from_op_by_node: dict[int, FromOpSite] = {}
+        self._writes_by_key: dict[tuple, EscapeWrite] = {}
+        self.summary = Summary()
+        self._guard_stack: list[ast.expr] = []
+        self._return_values: list[Value] = []
+
+    @property
+    def from_op_sites(self) -> list[FromOpSite]:
+        return list(self._from_op_by_node.values())
+
+    @property
+    def escape_writes(self) -> list[EscapeWrite]:
+        return list(self._writes_by_key.values())
+
+    # -- entry point ---------------------------------------------------
+    def run(self) -> None:
+        self._exec_body(self.function.node.body)
+        self.summary.returns_fresh = all(
+            v.storage in (FRESH, NO_STORE) for v in self._return_values
+        )
+        # Closures see the *final* environment of the enclosing body,
+        # with everything array-like pinned as tape storage: once the
+        # tape node exists, those arrays belong to the backward pass.
+        closure_env = {
+            name: (
+                Value(value.kind, TAPE)
+                if value.kind in _TENSORISH and value.storage != GLOBAL_STORE
+                else value
+            )
+            for name, value in self.env.items()
+        }
+        for name, nodes in self.closures.items():
+            for node in nodes:
+                self._run_closure(node, closure_env)
+
+    def _run_closure(self, node: ast.AST, closure_env: dict[str, Value]) -> None:
+        if isinstance(node, ast.Lambda):
+            # Lambdas are expressions; classify the body for call-effects.
+            body = [ast.Expr(value=node.body)]
+            fn_node = ast.FunctionDef(
+                name="<lambda>",
+                args=node.args,
+                body=body,
+                decorator_list=[],
+                returns=None,
+            )
+            ast.copy_location(fn_node, node)
+            ast.fix_missing_locations(fn_node)
+        elif isinstance(node, ast.FunctionDef):
+            fn_node = node
+        else:  # pragma: no cover - only defs and lambdas are recorded
+            return
+        info = FunctionInfo(
+            module=self.function.module,
+            qualname=f"{self.function.qualname}.{fn_node.name}",
+            node=fn_node,
+            class_name=self.function.class_name,
+        )
+        sub = Interp(
+            info,
+            self.module,
+            self.program,
+            self.summaries,
+            closure_env=closure_env,
+            in_backward=True,
+        )
+        sub.run()
+        self._writes_by_key.update(sub._writes_by_key)
+
+    # -- statements ----------------------------------------------------
+    def _exec_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._classify(stmt.value)
+            self._visit_calls(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, value, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._classify(stmt.value)
+                self._visit_calls(stmt.value)
+                self._assign(stmt.target, stmt.value, value, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._classify(stmt.value).join(self._classify(stmt.target))
+            self._visit_calls(stmt.value)
+            self._check_write(stmt.target, stmt)
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = Value(value.kind, self._name_storage(stmt.target.id))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_calls(stmt.value)
+                self._return_values.append(self._classify(stmt.value))
+                self._record_binding("<return>", stmt.value)
+            else:
+                self._return_values.append(_SCALAR_VALUE)
+        elif isinstance(stmt, ast.If):
+            self._visit_calls(stmt.test)
+            before = dict(self.env)
+            self._guard_stack.append(stmt.test)
+            self._exec_body(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self._exec_body(stmt.orelse)
+            self._guard_stack.pop()
+            self.env = self._join_env(after_body, self.env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_calls(stmt.iter)
+            self._bind_loop_target(stmt.target, stmt.iter)
+            # Two passes so values defined late in the body reach uses
+            # at the top on the abstract second iteration.
+            for _ in range(2):
+                self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_calls(stmt.test)
+            for _ in range(2):
+                self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._visit_calls(item.context_expr)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    self.env[item.optional_vars.id] = _UNKNOWN_VALUE
+            self._exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = _UNKNOWN_VALUE
+                self._exec_body(handler.body)
+            self._exec_body(stmt.orelse)
+            self._exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.FunctionDef):
+            self.closures.setdefault(stmt.name, []).append(stmt)
+            self.env[stmt.name] = _UNKNOWN_VALUE
+        elif isinstance(stmt, ast.Global):
+            self.declared_globals.update(stmt.names)
+            for name in stmt.names:
+                self.env[name] = Value(UNKNOWN, GLOBAL_STORE)
+        elif isinstance(stmt, ast.Expr):
+            self._visit_calls(stmt.value)
+            self._classify(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._visit_calls(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._check_write(target, stmt)
+        # Pass/Break/Continue/Import inside functions: nothing to track.
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value_expr: ast.expr,
+        value: Value,
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_globals:
+                self.summary.global_writes.add(target.id)
+                self.env[target.id] = Value(value.kind, GLOBAL_STORE)
+            else:
+                self.env[target.id] = value
+                self._record_binding(target.id, value_expr)
+            if isinstance(value_expr, ast.Lambda):
+                self.closures.setdefault(target.id, []).append(value_expr)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            value_elts = (
+                value_expr.elts
+                if isinstance(value_expr, (ast.Tuple, ast.List))
+                and len(value_expr.elts) == len(target.elts)
+                else None
+            )
+            for i, element in enumerate(target.elts):
+                if value_elts is not None:
+                    self._assign(
+                        element,
+                        value_elts[i],
+                        self._classify(value_elts[i]),
+                        stmt,
+                    )
+                elif isinstance(element, ast.Name):
+                    self.env[element.id] = _UNKNOWN_VALUE
+            return
+        # Subscript / Attribute target: a write through existing storage.
+        self._check_write(target, stmt)
+
+    def _bind_loop_target(self, target: ast.expr, iter_expr: ast.expr) -> None:
+        element = self._element_value(iter_expr)
+        if isinstance(target, ast.Name):
+            self.env[target.id] = element
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                isinstance(iter_expr, ast.Call)
+                and isinstance(iter_expr.func, ast.Name)
+                and iter_expr.func.id == "enumerate"
+                and len(target.elts) == 2
+                and iter_expr.args
+            ):
+                if isinstance(target.elts[0], ast.Name):
+                    self.env[target.elts[0].id] = _SCALAR_VALUE
+                inner = self._element_value(iter_expr.args[0])
+                if isinstance(target.elts[1], ast.Name):
+                    self.env[target.elts[1].id] = inner
+                return
+            for element_target in target.elts:
+                if isinstance(element_target, ast.Name):
+                    self.env[element_target.id] = _UNKNOWN_VALUE
+
+    def _element_value(self, iter_expr: ast.expr) -> Value:
+        if isinstance(iter_expr, ast.Call) and isinstance(iter_expr.func, ast.Name):
+            if iter_expr.func.id in ("range", "enumerate"):
+                return _SCALAR_VALUE
+            if iter_expr.func.id == "zip":
+                return _UNKNOWN_VALUE
+        value = self._classify(iter_expr)
+        if value.kind == TENSOR_LIST:
+            return Value(TENSOR, value.storage)
+        if value.kind in (INDEX, SCALAR):
+            return Value(SCALAR, NO_STORE)
+        if value.kind in (TENSOR_DATA, TENSOR_VIEW, HEAVY):
+            return Value(value.kind, value.storage)
+        return _UNKNOWN_VALUE
+
+    def _record_binding(self, name: str, expr: ast.expr) -> None:
+        guards = tuple(self._guard_stack)
+        self.bindings.setdefault(name, []).append((expr, guards))
+
+    def _join_env(
+        self, left: dict[str, Value], right: dict[str, Value]
+    ) -> dict[str, Value]:
+        joined: dict[str, Value] = {}
+        for name in set(left) | set(right):
+            a, b = left.get(name), right.get(name)
+            if a is None or b is None:
+                joined[name] = a or b  # defined on one path only
+            else:
+                joined[name] = a.join(b)
+        return joined
+
+    # -- write / effect tracking ---------------------------------------
+    def _name_storage(self, name: str) -> str:
+        value = self.env.get(name)
+        if value is not None:
+            return value.storage
+        if name in self.declared_globals or name in self.module.global_names:
+            return GLOBAL_STORE
+        return UNKNOWN
+
+    def _write_root(self, target: ast.expr) -> tuple[str, str, str] | None:
+        """Resolve a write target to (rendered name, kind, storage)."""
+        node = target
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Name):
+            value = self.env.get(node.id)
+            if value is not None:
+                return node.id, value.kind, value.storage
+            if node.id in self.module.global_names:
+                return node.id, UNKNOWN, GLOBAL_STORE
+            return node.id, UNKNOWN, UNKNOWN
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                return None  # method state; out of scope by design
+            if node.attr == "writeable":
+                return None  # ndarray.flags.writeable: metadata, not data
+            rendered = dotted_name(node) or "<expr>"
+            if node.attr in ("grad",):
+                return None  # gradient slots are the accumulation target
+            if node.attr == "data":
+                base_value = self._classify(base)
+                storage = (
+                    base_value.storage
+                    if base_value.storage in (TAPE, GLOBAL_STORE)
+                    else PARAM_STORE
+                )
+                return rendered, TENSOR_DATA, storage
+            base_value = self._classify(base)
+            return rendered, base_value.kind, base_value.storage
+        if isinstance(node, ast.Call):
+            return None  # e.g. ``get_x()[i] = ...`` — not used in this tree
+        return None
+
+    def _check_write(
+        self, target: ast.expr, stmt: ast.AST, via_call: str | None = None
+    ) -> None:
+        root = self._write_root(target)
+        if root is None:
+            return
+        name, kind, storage = root
+        base = name.split(".")[0].split("[")[0]
+        if storage == GLOBAL_STORE:
+            self.summary.global_writes.add(base)
+            return
+        if storage == PARAM_STORE:
+            if base in self.function.params:
+                self.summary.mutated_params.add(base)
+            # A direct finding only when the write provably reaches
+            # *tensor* storage (a ``.data`` alias) or happens inside a
+            # backward closure. Plain array-parameter mutation is an
+            # effect-summary fact: callers passing fresh arrays are
+            # fine, callers passing tape storage get flagged at the
+            # call site, and undeclared public kernels get flagged by
+            # the purity check.
+            if kind in (TENSOR, TENSOR_DATA, TENSOR_VIEW) or (
+                self.in_backward and kind in _TENSORISH
+            ):
+                self._record_write(stmt, name, PARAM_STORE, via_call)
+        elif storage == TAPE:
+            self._record_write(stmt, name, TAPE, via_call)
+        # FRESH / NO_STORE / UNKNOWN: local mutation, no escape.
+
+    def _record_write(
+        self, stmt: ast.AST, target: str, storage: str, via_call: str | None
+    ) -> None:
+        key = (self.function.qualname, id(stmt), target, storage, via_call)
+        self._writes_by_key[key] = EscapeWrite(
+            function=self.function,
+            node=stmt,
+            target=target,
+            storage=storage,
+            in_backward=self.in_backward,
+            via_call=via_call,
+        )
+
+    def _visit_calls(self, expr: ast.expr) -> None:
+        """Apply call effects (mutating callees, _from_op promotion).
+
+        Does not descend into lambda bodies: those run at backward
+        time and are interpreted separately as closures.
+        """
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                self._apply_call_effects(node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _apply_call_effects(self, call: ast.Call) -> None:
+        func = call.func
+        dotted = dotted_name(func)
+        # -- Tensor._from_op: record the site, promote tape storage.
+        if isinstance(func, ast.Attribute) and func.attr == "_from_op":
+            self._record_from_op(call)
+            return
+        # -- ufunc scatter: np.add.at(out, ...) writes arg 0 in place.
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[2] == "at":
+                if call.args:
+                    self._check_write(call.args[0], call, via_call=dotted)
+                return
+        # -- out= keyword writes through its argument.
+        for keyword in call.keywords:
+            if keyword.arg == "out":
+                self._check_write(keyword.value, call, via_call=dotted or "<call>")
+        # -- mutating container method on a module-global name.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.attr in MUTATING_METHODS
+        ):
+            base = func.value.id
+            if (
+                base not in self.env
+                and base in self.module.global_names
+                or self.env.get(base, _UNKNOWN_VALUE).storage == GLOBAL_STORE
+            ):
+                self.summary.global_writes.add(base)
+        # -- resolved callee with a mutation summary.
+        target = self.program.resolve_call(self.module, call)
+        if target is not None and not target.is_method:
+            summary = self.summaries.get(target.key)
+            if summary is not None and summary.mutated_params:
+                positions = target.param_positions()
+                for param in summary.mutated_params:
+                    position = positions.get(param)
+                    if position is None or position >= len(call.args):
+                        for keyword in call.keywords:
+                            if keyword.arg == param:
+                                self._check_write(
+                                    keyword.value, call, via_call=target.key
+                                )
+                        continue
+                    self._check_write(
+                        call.args[position], call, via_call=target.key
+                    )
+
+    def _record_from_op(self, call: ast.Call) -> None:
+        backward = call.args[2] if len(call.args) >= 3 else None
+        site = FromOpSite(
+            function=self.function,
+            call=call,
+            env=dict(self.env),
+            bindings={k: list(v) for k, v in self.bindings.items()},
+            closures={k: list(v) for k, v in self.closures.items()},
+        )
+        self._from_op_by_node[id(call)] = site
+        if isinstance(backward, ast.Lambda):
+            self.closures[f"<lambda:{call.lineno}>"] = [backward]
+        # Promote: the data argument and every array the backward
+        # captures now belong to the tape; later in-place writes to
+        # them would corrupt a recorded backward pass.
+        promote: set[str] = set()
+        data = call.args[0] if call.args else None
+        if isinstance(data, ast.Name):
+            promote.add(data.id)
+        for closure_node in self._backward_nodes(site):
+            promote.update(free_names(closure_node, self.env))
+        for name in promote:
+            value = self.env.get(name)
+            if value is not None and value.kind in _TENSORISH:
+                self.env[name] = Value(value.kind, TAPE)
+
+    def _backward_nodes(self, site: FromOpSite) -> list[ast.AST]:
+        backward = site.backward_arg
+        if backward is None:
+            return []
+        if isinstance(backward, ast.Lambda):
+            return [backward]
+        if isinstance(backward, ast.Name):
+            nodes: list[ast.AST] = list(site.closures.get(backward.id, []))
+            for expr, _guards in site.bindings.get(backward.id, []):
+                if isinstance(expr, ast.Lambda):
+                    nodes.append(expr)
+            return nodes
+        return []
+
+    # -- expression classification -------------------------------------
+    def _classify(self, expr: ast.expr | None) -> Value:
+        if expr is None:
+            return _SCALAR_VALUE
+        method = getattr(self, f"_classify_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr)
+        if isinstance(expr, (ast.Constant, ast.JoinedStr, ast.FormattedValue)):
+            return _SCALAR_VALUE
+        return _UNKNOWN_VALUE
+
+    def _classify_Constant(self, expr: ast.Constant) -> Value:
+        return _SCALAR_VALUE
+
+    def _classify_Name(self, expr: ast.Name) -> Value:
+        value = self.env.get(expr.id)
+        if value is not None:
+            return value
+        if expr.id in self.module.global_names:
+            return Value(UNKNOWN, GLOBAL_STORE)
+        return _UNKNOWN_VALUE
+
+    def _classify_Attribute(self, expr: ast.Attribute) -> Value:
+        if expr.attr in _SCALAR_ATTRS:
+            return _SCALAR_VALUE
+        base = self._classify(expr.value)
+        if expr.attr == "data":
+            if base.kind in (TENSOR, TENSOR_LIST, SELF, UNKNOWN):
+                storage = base.storage if base.storage == TAPE else PARAM_STORE
+                return Value(TENSOR_DATA, storage)
+            return base
+        if expr.attr == "T":
+            if base.kind in (TENSOR_DATA, TENSOR_VIEW):
+                return Value(TENSOR_VIEW, base.storage)
+            return base
+        if base.kind == PLAN:
+            # Plan attributes (counts, order, indptr) are shared
+            # read-only index/count arrays owned by the plan.
+            return Value(INDEX, PARAM_STORE)
+        if base.kind == SELF:
+            return Value(UNKNOWN, PARAM_STORE)
+        if base.storage == GLOBAL_STORE:
+            return Value(UNKNOWN, GLOBAL_STORE)
+        return _UNKNOWN_VALUE
+
+    def _classify_Subscript(self, expr: ast.Subscript) -> Value:
+        base = self._classify(expr.value)
+        self._classify(expr.slice)
+        if base.kind in (SCALAR, INDEX, PLAN):
+            return Value(base.kind if base.kind != PLAN else UNKNOWN, base.storage)
+        if _is_pure_view_slice(expr.slice):
+            if base.kind == TENSOR_DATA:
+                return Value(TENSOR_VIEW, base.storage)
+            return base
+        # Fancy indexing copies.
+        if base.kind in _TENSORISH:
+            return Value(HEAVY, FRESH)
+        if base.storage == GLOBAL_STORE:
+            return Value(UNKNOWN, GLOBAL_STORE)
+        return _UNKNOWN_VALUE
+
+    def _classify_BinOp(self, expr: ast.BinOp) -> Value:
+        return self._combine([expr.left, expr.right])
+
+    def _classify_UnaryOp(self, expr: ast.UnaryOp) -> Value:
+        return self._combine([expr.operand])
+
+    def _classify_BoolOp(self, expr: ast.BoolOp) -> Value:
+        return self._combine(expr.values, allocates=False)
+
+    def _classify_Compare(self, expr: ast.Compare) -> Value:
+        return self._combine([expr.left, *expr.comparators])
+
+    def _classify_IfExp(self, expr: ast.IfExp) -> Value:
+        self._classify(expr.test)
+        return self._classify(expr.body).join(self._classify(expr.orelse))
+
+    def _classify_Tuple(self, expr: ast.Tuple) -> Value:
+        return self._classify_sequence(expr.elts)
+
+    def _classify_List(self, expr: ast.List) -> Value:
+        return self._classify_sequence(expr.elts)
+
+    def _classify_sequence(self, elts: list[ast.expr]) -> Value:
+        values = [
+            self._classify(e.value if isinstance(e, ast.Starred) else e)
+            for e in elts
+        ]
+        if values and all(
+            v.kind in (TENSOR, TENSOR_LIST) for v in values
+        ):
+            return Value(TENSOR_LIST, PARAM_STORE)
+        if not values:
+            return Value(SCALAR, FRESH)
+        joined = values[0]
+        for v in values[1:]:
+            joined = joined.join(v)
+        return Value(joined.kind, FRESH if joined.kind in _TENSORISH else NO_STORE)
+
+    def _classify_ListComp(self, expr: ast.ListComp) -> Value:
+        return self._classify_comprehension(expr.generators, expr.elt, listy=True)
+
+    def _classify_SetComp(self, expr: ast.SetComp) -> Value:
+        return self._classify_comprehension(expr.generators, expr.elt)
+
+    def _classify_GeneratorExp(self, expr: ast.GeneratorExp) -> Value:
+        return self._classify_comprehension(expr.generators, expr.elt)
+
+    def _classify_DictComp(self, expr: ast.DictComp) -> Value:
+        return self._classify_comprehension(expr.generators, expr.value)
+
+    def _classify_comprehension(
+        self,
+        generators: list[ast.comprehension],
+        elt: ast.expr,
+        listy: bool = False,
+    ) -> Value:
+        saved = dict(self.env)
+        try:
+            for gen in generators:
+                self._bind_loop_target(gen.target, gen.iter)
+            element = self._classify(elt)
+        finally:
+            self.env = saved
+        if listy and element.kind == TENSOR:
+            return Value(TENSOR_LIST, PARAM_STORE)
+        if element.kind in _TENSORISH:
+            return Value(HEAVY, FRESH)
+        return Value(element.kind, NO_STORE)
+
+    def _classify_Starred(self, expr: ast.Starred) -> Value:
+        return self._classify(expr.value)
+
+    def _classify_Dict(self, expr: ast.Dict) -> Value:
+        for value in expr.values:
+            self._classify(value)
+        return Value(UNKNOWN, FRESH)
+
+    def _classify_Lambda(self, expr: ast.Lambda) -> Value:
+        return _UNKNOWN_VALUE
+
+    def _combine(self, operands: list[ast.expr], allocates: bool = True) -> Value:
+        values = [self._classify(op) for op in operands]
+        kind = SCALAR
+        for v in values:
+            if v.kind in _TENSORISH or v.kind == RNG:
+                kind = HEAVY
+                break
+            if v.kind == INDEX:
+                kind = INDEX
+            elif v.kind == UNKNOWN and kind == SCALAR:
+                kind = UNKNOWN
+        if kind == SCALAR:
+            return _SCALAR_VALUE
+        return Value(kind, FRESH if allocates else NO_STORE)
+
+    def _classify_Call(self, call: ast.Call) -> Value:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "_from_op":
+            return Value(TENSOR, TAPE)
+        dotted = dotted_name(func)
+        arg_exprs = [
+            a.value if isinstance(a, ast.Starred) else a for a in call.args
+        ] + [k.value for k in call.keywords if k.arg != "dtype"]
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in _SCALAR_CASTS or name in ("isinstance", "getattr", "hasattr"):
+                for a in arg_exprs:
+                    self._classify(a)
+                return _SCALAR_VALUE
+            if name in ("as_tensor", "Tensor"):
+                base = self._classify(arg_exprs[0]) if arg_exprs else _UNKNOWN_VALUE
+                storage = (
+                    PARAM_STORE
+                    if name == "as_tensor" and base.storage != FRESH
+                    else FRESH
+                )
+                return Value(TENSOR, storage)
+            if name in ("tuple", "list"):
+                return (
+                    self._classify(arg_exprs[0]) if arg_exprs else _SCALAR_VALUE
+                )
+            if name in ("sorted", "reversed", "zip", "map", "filter", "set"):
+                for a in arg_exprs:
+                    self._classify(a)
+                return _UNKNOWN_VALUE
+
+        if dotted is not None:
+            parts = dotted.split(".")
+            if parts[0] in ("np", "numpy") and len(parts) >= 2:
+                return self._classify_numpy_call(parts, call, arg_exprs)
+            # rng.random(...) and friends
+            base_value = self.env.get(parts[0])
+            if base_value is not None and base_value.kind == RNG:
+                return Value(HEAVY, FRESH)
+
+        if isinstance(func, ast.Attribute):
+            receiver = self._classify(func.value)
+            method = func.attr
+            if receiver.kind == PLAN:
+                # Plan methods serve shared precomputed index arrays.
+                return Value(INDEX, PARAM_STORE)
+            if method in _SCALAR_METHODS or method in ("max", "min", "mean", "sum"):
+                scalar_like = receiver.kind not in _TENSORISH
+                if method in ("max", "min", "mean", "sum") and not scalar_like:
+                    return Value(HEAVY, FRESH)
+                return _SCALAR_VALUE
+            if method in _VIEW_METHODS:
+                if receiver.kind == TENSOR_DATA:
+                    return Value(TENSOR_VIEW, receiver.storage)
+                return receiver
+            if method == "astype":
+                # copy=False may alias, but the result is at worst the
+                # same storage; classify by the stricter of the two.
+                if receiver.kind in _TENSORISH:
+                    return Value(HEAVY, receiver.storage if self._astype_no_copy(call) else FRESH)
+                return Value(receiver.kind, receiver.storage)
+            if method == "copy":
+                return Value(
+                    HEAVY if receiver.kind in _TENSORISH else receiver.kind, FRESH
+                )
+            if receiver.kind in _TENSORISH:
+                return Value(HEAVY, FRESH)
+            if receiver.kind in (INDEX, SCALAR):
+                return Value(receiver.kind, FRESH)
+            if receiver.storage == GLOBAL_STORE:
+                return Value(UNKNOWN, GLOBAL_STORE)
+
+        # Resolved project call: classify by argument taint + summary.
+        target = self.program.resolve_call(self.module, call)
+        if target is not None:
+            summary = self.summaries.get(target.key)
+            result = self._combine(arg_exprs) if arg_exprs else _UNKNOWN_VALUE
+            if summary is not None and not summary.returns_fresh:
+                return Value(
+                    result.kind if result.kind != SCALAR else UNKNOWN, PARAM_STORE
+                )
+            if result.kind == SCALAR:
+                return Value(UNKNOWN, FRESH)
+            return Value(result.kind, FRESH)
+
+        for a in arg_exprs:
+            self._classify(a)
+        return _UNKNOWN_VALUE
+
+    @staticmethod
+    def _astype_no_copy(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "copy" and isinstance(keyword.value, ast.Constant):
+                return keyword.value.value is False
+        return False
+
+    def _classify_numpy_call(
+        self, parts: list[str], call: ast.Call, arg_exprs: list[ast.expr]
+    ) -> Value:
+        name = parts[-1]
+        int_dtype = any(
+            k.arg == "dtype"
+            and "int" in (dotted_name(k.value) or _annotation_text(k.value))
+            for k in call.keywords
+        )
+        if name in _INDEX_PRODUCERS:
+            return Value(INDEX, FRESH)
+        if name in ("asarray", "ascontiguousarray", "atleast_1d", "atleast_2d"):
+            base = self._classify(arg_exprs[0]) if arg_exprs else _UNKNOWN_VALUE
+            if int_dtype:
+                return Value(INDEX, base.storage if base.kind == INDEX else FRESH)
+            return base
+        if name in _ALLOCATORS:
+            if int_dtype:
+                return Value(INDEX, FRESH)
+            base = self._classify(arg_exprs[0]) if arg_exprs else _SCALAR_VALUE
+            if name in ("zeros_like", "ones_like", "empty_like", "full_like", "copy", "array"):
+                if base.kind == INDEX:
+                    return Value(INDEX, FRESH)
+            return Value(HEAVY, FRESH)
+        if name in ("broadcast_to", "expand_dims", "squeeze"):
+            base = self._classify(arg_exprs[0]) if arg_exprs else _UNKNOWN_VALUE
+            return Value(base.kind if base.kind in _TENSORISH else HEAVY, base.storage)
+        if name == "bincount":
+            has_weights = any(k.arg == "weights" for k in call.keywords)
+            if not has_weights:
+                return Value(INDEX, FRESH)
+            result = self._combine(arg_exprs)
+            return Value(result.kind if result.kind != SCALAR else INDEX, FRESH)
+        if name in ("cumsum", "take", "where", "concatenate", "stack"):
+            result = self._combine(arg_exprs)
+            if result.kind == SCALAR:
+                return Value(INDEX, FRESH)
+            return Value(result.kind if result.kind != UNKNOWN else HEAVY, FRESH)
+        # Generic ufunc / reduction: taint follows the arguments.
+        result = self._combine(arg_exprs)
+        if result.kind == SCALAR:
+            # np.float64(x), np.inf-style scalars stay scalars.
+            return _SCALAR_VALUE
+        return Value(result.kind, FRESH)
+
+
+def free_names(node: ast.AST, enclosing_env: dict[str, Value]) -> set[str]:
+    """Names a closure reads from its enclosing function scope."""
+    if isinstance(node, ast.Lambda):
+        body: list[ast.AST] = [node.body]
+        args = node.args
+    elif isinstance(node, ast.FunctionDef):
+        body = list(node.body)
+        args = node.args
+    else:
+        return set()
+    bound = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    loads: set[str] = set()
+    stores: set[str] = set()
+    for stmt in body:
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.Name):
+                if isinstance(child.ctx, ast.Store):
+                    stores.add(child.id)
+                elif isinstance(child.ctx, ast.Load):
+                    loads.add(child.id)
+            elif isinstance(child, ast.comprehension):
+                for target in ast.walk(child.target):
+                    if isinstance(target, ast.Name):
+                        stores.add(target.id)
+    free = loads - bound - stores - _BUILTIN_NAMES
+    return {name for name in free if name in enclosing_env}

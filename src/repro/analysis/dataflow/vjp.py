@@ -1,0 +1,363 @@
+"""VJP completeness: every parent gets a gradient on every path.
+
+For each ``Tensor._from_op`` call site the analysis resolves
+
+* the **parents** — a tuple literal (fixed arity, possibly several
+  arities via a conditional like ``linear``'s optional bias), a starred
+  tuple or a list-of-tensors variable (variadic), and
+* the **backward** — an inline lambda, a nested ``def``, or a name
+  bound to lambdas on several branches (``transpose``),
+
+then checks that every return of every backward form produces one
+gradient per parent, and that a gradient is only ever the literal
+``None`` under a ``requires_grad`` guard (the tape's sanctioned way to
+skip a constant operand) or a contract-declared non-differentiable
+position. A parent position whose *every* reaching value is ``None``
+is a dropped gradient — the exact bug class that silently skews the
+Eq. 2 mixture weights.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from repro.analysis.dataflow.contracts import ContractTable
+from repro.analysis.dataflow.ir import (
+    TENSOR_LIST,
+    FromOpSite,
+    dotted_name,
+)
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["check_vjp_site"]
+
+_GUARDED_NONE = "guarded-none"
+_BARE_NONE = "bare-none"
+_VALUE = "value"
+
+
+@dataclasses.dataclass
+class _Parents:
+    variadic: bool
+    arities: set[int] = dataclasses.field(default_factory=set)
+    names: dict[int, set[str]] = dataclasses.field(default_factory=dict)
+
+    def record(self, elements: list[ast.expr]) -> None:
+        self.arities.add(len(elements))
+        for i, element in enumerate(elements):
+            name = element.id if isinstance(element, ast.Name) else None
+            if name:
+                self.names.setdefault(i, set()).add(name)
+
+
+def _resolve_parents(site: FromOpSite) -> _Parents | None:
+    expr = site.parents_arg
+    if expr is None:
+        return None
+    parents = _Parents(variadic=False)
+    for candidate in _parent_tuple_candidates(site, expr):
+        if candidate == "variadic":
+            parents.variadic = True
+        else:
+            parents.record(candidate)
+    if not parents.variadic and not parents.arities:
+        return None
+    return parents
+
+
+def _parent_tuple_candidates(
+    site: FromOpSite, expr: ast.expr
+) -> Iterator[list[ast.expr] | str]:
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        if any(isinstance(e, ast.Starred) for e in expr.elts):
+            yield "variadic"
+        else:
+            yield list(expr.elts)
+        return
+    if isinstance(expr, ast.IfExp):
+        yield from _parent_tuple_candidates(site, expr.body)
+        yield from _parent_tuple_candidates(site, expr.orelse)
+        return
+    if isinstance(expr, ast.Name):
+        # Syntactic bindings first: a name bound to literal tuples (or
+        # a conditional between them, like ``linear``'s optional bias)
+        # has *known* arities even though its runtime type is a tuple
+        # of tensors. Only an unresolvable tensor-list name (a built
+        # ``list`` of parents) is treated as variadic.
+        yielded = False
+        for bound, _guards in site.bindings.get(expr.id, []):
+            for candidate in _parent_tuple_candidates(site, bound):
+                yielded = True
+                yield candidate
+        if yielded:
+            return
+        value = site.env.get(expr.id)
+        if value is not None and value.kind == TENSOR_LIST:
+            yield "variadic"
+
+
+def _backward_nodes(site: FromOpSite) -> list[ast.AST]:
+    expr = site.backward_arg
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Lambda):
+        return [expr]
+    if isinstance(expr, ast.Name):
+        nodes: list[ast.AST] = [
+            n
+            for n in site.closures.get(expr.id, [])
+            if isinstance(n, (ast.FunctionDef, ast.Lambda))
+        ]
+        for bound, _guards in site.bindings.get(expr.id, []):
+            if isinstance(bound, ast.Lambda):
+                nodes.append(bound)
+        return nodes
+    return []
+
+
+def _param_count(node: ast.AST) -> int:
+    args = node.args
+    return len(args.posonlyargs) + len(args.args) + len(args.kwonlyargs)
+
+
+def _collect_returns(
+    node: ast.AST,
+) -> list[tuple[ast.expr, tuple[ast.expr, ...]]]:
+    """(return expression, enclosing If-test chain) per reachable return."""
+    if isinstance(node, ast.Lambda):
+        return [(node.body, ())]
+    returns: list[tuple[ast.expr, tuple[ast.expr, ...]]] = []
+
+    def walk(body: list[ast.stmt], guards: tuple[ast.expr, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    returns.append((stmt.value, guards))
+            elif isinstance(stmt, ast.If):
+                walk(stmt.body, guards + (stmt.test,))
+                walk(stmt.orelse, guards + (stmt.test,))
+            elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+                walk(stmt.body, guards)
+                walk(stmt.orelse if hasattr(stmt, "orelse") else [], guards)
+            elif isinstance(stmt, ast.Try):
+                walk(stmt.body, guards)
+                for handler in stmt.handlers:
+                    walk(handler.body, guards)
+                walk(stmt.orelse, guards)
+                walk(stmt.finalbody, guards)
+            # Nested defs/lambdas are their own scope: don't descend.
+
+    walk(node.body, ())
+    return returns
+
+
+def _collect_assignments(
+    node: ast.AST,
+) -> dict[str, list[tuple[ast.expr, tuple[ast.expr, ...]]]]:
+    """Name -> [(assigned expr, enclosing If-test chain)] inside a def."""
+    if not isinstance(node, ast.FunctionDef):
+        return {}
+    assignments: dict[str, list[tuple[ast.expr, tuple[ast.expr, ...]]]] = {}
+
+    def walk(body: list[ast.stmt], guards: tuple[ast.expr, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        assignments.setdefault(target.id, []).append(
+                            (stmt.value, guards)
+                        )
+            elif isinstance(stmt, ast.If):
+                walk(stmt.body, guards + (stmt.test,))
+                walk(stmt.orelse, guards + (stmt.test,))
+            elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+                walk(stmt.body, guards)
+
+    walk(node.body, ())
+    return assignments
+
+
+def _mentions_requires_grad(guards: tuple[ast.expr, ...]) -> bool:
+    for guard in guards:
+        for child in ast.walk(guard):
+            if isinstance(child, ast.Attribute) and child.attr == "requires_grad":
+                return True
+    return False
+
+
+def _gradient_states(
+    expr: ast.expr,
+    guards: tuple[ast.expr, ...],
+    assignments: dict[str, list[tuple[ast.expr, tuple[ast.expr, ...]]]],
+    depth: int = 0,
+) -> set[str]:
+    """Classify every value a gradient element can resolve to."""
+    if depth > 8:
+        return {_VALUE}
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        if _mentions_requires_grad(guards):
+            return {_GUARDED_NONE}
+        return {_BARE_NONE}
+    if isinstance(expr, ast.IfExp):
+        states = _gradient_states(
+            expr.body, guards + (expr.test,), assignments, depth + 1
+        )
+        states |= _gradient_states(
+            expr.orelse, guards + (expr.test,), assignments, depth + 1
+        )
+        return states
+    if isinstance(expr, ast.Name):
+        bound = assignments.get(expr.id)
+        if bound:
+            states: set[str] = set()
+            for value, value_guards in bound:
+                states |= _gradient_states(
+                    value, guards + value_guards, assignments, depth + 1
+                )
+            return states
+        return {_VALUE}
+    return {_VALUE}
+
+
+def check_vjp_site(
+    site: FromOpSite, contracts: ContractTable, path: str
+) -> Iterator[Finding]:
+    function = site.function
+    key = function.key
+    contract = contracts.get(key)
+    call = site.call
+
+    def finding(rule: str, severity: Severity, message: str, node: ast.AST = call):
+        return Finding(
+            rule_id=rule,
+            severity=severity,
+            path=path,
+            line=getattr(node, "lineno", call.lineno),
+            col=getattr(node, "col_offset", call.col_offset),
+            message=message,
+            symbol=key,
+        )
+
+    if len(call.args) < 3:
+        yield finding(
+            "vjp-malformed",
+            Severity.ERROR,
+            f"{key}: _from_op needs (data, parents, backward_fn), "
+            f"got {len(call.args)} positional arguments",
+        )
+        return
+
+    parents = _resolve_parents(site)
+    backwards = _backward_nodes(site)
+    if not backwards:
+        rendered = dotted_name(site.backward_arg) or "<expr>"
+        yield finding(
+            "vjp-unresolved-backward",
+            Severity.WARNING,
+            f"{key}: backward {rendered!r} could not be resolved "
+            "statically; gradcheck is the only guard for this op",
+        )
+        return
+
+    for backward in backwards:
+        if _param_count(backward) != 1:
+            yield finding(
+                "vjp-backward-signature",
+                Severity.ERROR,
+                f"{key}: backward takes {_param_count(backward)} "
+                "parameters; the tape calls it with exactly one output "
+                "gradient",
+                backward,
+            )
+            continue
+        returns = _collect_returns(backward)
+        if not returns:
+            yield finding(
+                "vjp-arity-mismatch",
+                Severity.ERROR,
+                f"{key}: backward has no return; every parent must "
+                "receive a gradient (or a guarded None)",
+                backward,
+            )
+            continue
+        assignments = _collect_assignments(backward)
+        fixed_returns: list[tuple[list[ast.expr], tuple[ast.expr, ...]]] = []
+        saw_variadic_return = False
+        for value, guards in returns:
+            if isinstance(value, (ast.Tuple, ast.List)):
+                fixed_returns.append((list(value.elts), guards))
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "tuple"
+            ):
+                saw_variadic_return = True
+            else:
+                # A bare Name / expression return: arity unknown.
+                saw_variadic_return = True
+
+        if parents is None:
+            continue  # unresolvable parents: nothing provable here
+
+        if parents.variadic:
+            for elements, _guards in fixed_returns:
+                yield finding(
+                    "vjp-arity-mismatch",
+                    Severity.ERROR,
+                    f"{key}: parents are variadic but backward returns a "
+                    f"fixed {len(elements)}-tuple",
+                    backward,
+                )
+            continue
+
+        for elements, _guards in fixed_returns:
+            if len(elements) not in parents.arities:
+                expected = "/".join(str(a) for a in sorted(parents.arities))
+                yield finding(
+                    "vjp-arity-mismatch",
+                    Severity.ERROR,
+                    f"{key}: backward returns {len(elements)} gradients "
+                    f"for {expected} parent(s)",
+                    backward,
+                )
+
+        if saw_variadic_return or not fixed_returns:
+            continue
+
+        max_arity = max(parents.arities)
+        for position in range(max_arity):
+            if position in contract.nondiff:
+                continue
+            states: set[str] = set()
+            for elements, guards in fixed_returns:
+                if position < len(elements):
+                    states |= _gradient_states(
+                        elements[position], guards, assignments
+                    )
+            if not states:
+                continue
+            parent_name = "/".join(sorted(parents.names.get(position, ()))) or str(
+                position
+            )
+            if _VALUE not in states:
+                yield finding(
+                    "vjp-dropped-grad",
+                    Severity.ERROR,
+                    f"{key}: parent {position} ({parent_name}) never "
+                    "receives a gradient — every path returns None; "
+                    "declare nondiff=({},) in its contract if intentional".format(
+                        position
+                    ),
+                    backward,
+                )
+            elif _BARE_NONE in states:
+                yield finding(
+                    "vjp-conditional-grad",
+                    Severity.WARNING,
+                    f"{key}: parent {position} ({parent_name}) can receive "
+                    "None without a requires_grad guard; the tape will "
+                    "silently drop its gradient on that path",
+                    backward,
+                )

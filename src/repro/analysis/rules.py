@@ -27,6 +27,7 @@ __all__ = [
     "BufferedScatterRule",
     "NakedPrintRule",
     "UncheckedNanSourceRule",
+    "MissingOpScopeRule",
     "CORE_RULES",
 ]
 
@@ -614,6 +615,75 @@ class UncheckedNanSourceRule(Rule):
         return rest not in cls._GUARDED
 
 
+class MissingOpScopeRule(Rule):
+    """Mixture tape nodes built outside a ``health.op_scope`` block.
+
+    The tape health monitor (``repro.obs.health``) attributes NaN/Inf
+    anomalies to ``(edge, layer, op)`` via the innermost active
+    :func:`op_scope`. Search forwards annotate every candidate op — but
+    the *mixture itself* (``ops.weighted_sum``, the Eq. 2 combination
+    where epsilon-scaled alphas most often mint the first Inf) is a
+    tape node too. A mixture built outside any scope reports
+    ``op=None`` at exactly the moment provenance matters most. The rule
+    fires only in modules that already use ``op_scope`` (the search
+    forwards); plain training code is out of scope.
+    """
+
+    rule_id = "missing-op-scope"
+    severity = Severity.ERROR
+    description = (
+        "ops.weighted_sum mixture outside health.op_scope in a "
+        "monitor-annotated module"
+    )
+    node_types = (ast.Call,)
+
+    _MIXTURE_CALLS = frozenset({"weighted_sum"})
+
+    def __init__(self) -> None:
+        # Cache for the module currently being walked (files are linted
+        # sequentially): ids of nodes lexically inside an op_scope
+        # with-block, or None when the module never uses op_scope.
+        # Keeping the tree reference (not its id) avoids id recycling.
+        self._cached_tree: ast.Module | None = None
+        self._cached_scoped: set[int] | None = None
+
+    def check(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if _call_name(node) not in self._MIXTURE_CALLS:
+            return
+        scoped = self._scoped_nodes(ctx.tree)
+        if scoped is None:  # module never uses op_scope: not a forward
+            return
+        if id(node) in scoped:
+            return
+        yield self.finding(
+            node,
+            ctx,
+            "mixture tape node built outside health.op_scope; anomalies "
+            "in the Eq. 2 combination would report op=None — wrap the "
+            "call in `with health.op_scope(edge=..., layer=..., op=...)`",
+        )
+
+    def _scoped_nodes(self, tree: ast.Module) -> set[int] | None:
+        if tree is self._cached_tree:
+            return self._cached_scoped
+        uses_op_scope = False
+        scoped: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                if any(
+                    isinstance(item.context_expr, ast.Call)
+                    and _call_name(item.context_expr) == "op_scope"
+                    for item in node.items
+                ):
+                    uses_op_scope = True
+                    for stmt in node.body:
+                        scoped.update(id(child) for child in ast.walk(stmt))
+        result = scoped if uses_op_scope else None
+        self._cached_tree = tree
+        self._cached_scoped = result
+        return result
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -627,4 +697,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     BufferedScatterRule,
     NakedPrintRule,
     UncheckedNanSourceRule,
+    MissingOpScopeRule,
 )

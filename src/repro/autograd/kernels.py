@@ -45,11 +45,14 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.autograd.contracts import contract
+
 __all__ = [
     "BACKENDS",
     "SegmentPlan",
     "plan_for",
     "peek_plan",
+    "segment_counts",
     "get_backend",
     "set_backend",
     "use_backend",
@@ -84,6 +87,10 @@ def get_backend() -> str:
     return _BACKEND
 
 
+@contract(
+    globals=("_BACKEND",),
+    reason="the backend switch is this global's one sanctioned writer",
+)
 def set_backend(name: str) -> None:
     """Select the kernel backend for every subsequent segment reduction."""
     global _BACKEND
@@ -183,6 +190,10 @@ _PLAN_MEMO: OrderedDict[tuple[int, int], SegmentPlan] = OrderedDict()
 _PLAN_MEMO_CAPACITY = 128
 
 
+@contract(
+    globals=("_PLAN_MEMO",),
+    reason="bounded identity-keyed memo; plans are immutable once built",
+)
 def plan_for(segment_ids: np.ndarray, num_segments: int) -> SegmentPlan:
     """Plan for ``(segment_ids, num_segments)``, memoised by array identity.
 
@@ -214,6 +225,28 @@ def peek_plan(segment_ids: np.ndarray, num_segments: int) -> SegmentPlan | None:
     if plan is not None and plan.segment_ids is segment_ids:
         return plan
     return None
+
+
+def segment_counts(
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+    clamped: bool = False,
+) -> np.ndarray:
+    """Per-segment element counts as ``float64``; ``clamped`` floors at 1.
+
+    Served from a plan's precomputed (read-only) count caches when one
+    is supplied or memoised; otherwise a fresh ``np.bincount``. This is
+    the single home of the count computation — ``segment_mean`` and
+    degree normalisation both go through it.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if plan is None:
+        plan = peek_plan(segment_ids, num_segments)
+    if plan is not None:
+        return plan.counts_clamped if clamped else plan.counts_float
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    return np.maximum(counts, 1.0) if clamped else counts
 
 
 # ----------------------------------------------------------------------
@@ -285,6 +318,10 @@ class KernelCounters:
 _COUNTERS: KernelCounters | None = None
 
 
+@contract(
+    globals=("_COUNTERS",),
+    reason="installing the counter collector is this global's one writer",
+)
 def set_kernel_counters(counters: KernelCounters | None) -> None:
     """Install (or with ``None`` remove) the kernel counter collector."""
     global _COUNTERS
@@ -449,6 +486,10 @@ def _selects_unique_elements(index) -> bool:
     return True
 
 
+@contract(
+    mutates=("out",),
+    reason="the sanctioned in-place accumulation API; callers own out",
+)
 def index_add(out: np.ndarray, index, values) -> None:
     """``out[index] += values`` with repeated-index accumulation, in place.
 

@@ -109,14 +109,10 @@ def segment_count(
     """Number of elements per segment as a float array (constant).
 
     Served from the plan's cached counts when one exists (treat the
-    result as read-only in that case — it is shared).
+    result as read-only in that case — it is shared). Thin wrapper over
+    :func:`repro.autograd.kernels.segment_counts`.
     """
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    if plan is None:
-        plan = kernels.peek_plan(segment_ids, num_segments)
-    if plan is not None:
-        return plan.counts_float
-    return np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    return kernels.segment_counts(segment_ids, num_segments, plan)
 
 
 def segment_sum(
@@ -148,10 +144,7 @@ def segment_mean(
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if plan is None:
         plan = kernels.peek_plan(segment_ids, num_segments)
-    if plan is not None:
-        counts = plan.counts_clamped
-    else:
-        counts = np.maximum(segment_count(segment_ids, num_segments), 1.0)
+    counts = kernels.segment_counts(segment_ids, num_segments, plan, clamped=True)
     x = as_tensor(x)
     total = kernels.scatter_sum(x.data, segment_ids, num_segments, plan)
     denom = counts.reshape((num_segments,) + (1,) * (total.ndim - 1))

@@ -8,6 +8,7 @@ Commands
 ``table``            regenerate a paper table (6/7/8/9/10)
 ``figure``           regenerate a paper figure (2/3/4a/4b)
 ``lint``             static analysis of repo invariants (repro.analysis)
+``check``            interprocedural autograd contract analysis (dataflow)
 ``profile``          run search/baseline under the profiler (repro.obs)
 ``report``           render telemetry dashboards and the bench gate
 
@@ -24,7 +25,14 @@ import os
 import sys
 from pathlib import Path
 
-from repro.analysis import lint_paths, render_json, render_text
+from repro.analysis import (
+    check_paths,
+    lint_paths,
+    render_check_json,
+    render_check_text,
+    render_json,
+    render_text,
+)
 from repro.autograd import kernels
 from repro.obs import ProfileSession, record_events, render_diff, render_run
 from repro.obs.health import MODES, HealthMonitor, NumericsAnomaly
@@ -145,9 +153,32 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         default=None,
-        help="files or directories to lint (default: the repro package)",
+        help=(
+            "files or directories to lint (default: the repro package "
+            "plus the checkout's examples/ and scripts/ trees)"
+        ),
     )
     lint.add_argument("--format", choices=("text", "json"), default="text")
+
+    check = commands.add_parser(
+        "check",
+        help="interprocedural autograd contract analysis (VJP completeness, "
+        "capture weight, in-place escape, kernel purity)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to check (default: the autograd package)",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="grandfathered-findings file (default: the committed "
+        "src/repro/analysis/check_baseline.json)",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -245,10 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     _add_common_options(
-        stats, search, baseline, table, figure, lint, profile,
+        stats, search, baseline, table, figure, lint, check, profile,
         report, report_run, report_diff, report_memory, report_bench,
     )
     return parser
+
+
+def _default_lint_paths() -> list[str]:
+    """The package itself plus the repo-level examples/ and scripts/
+    trees when running from a source checkout (they don't ship in an
+    installed package, so their absence is not an error)."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(package_dir))
+    paths = [package_dir]
+    for name in ("examples", "scripts"):
+        candidate = os.path.join(repo_root, name)
+        if os.path.isdir(candidate):
+            paths.append(candidate)
+    return paths
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -257,7 +302,7 @@ def main(argv: list[str] | None = None) -> int:
     kernels.set_backend(args.kernels)
 
     if args.command == "lint":
-        paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+        paths = args.paths or _default_lint_paths()
         try:
             result = lint_paths(paths)
         except FileNotFoundError as exc:
@@ -266,6 +311,20 @@ def main(argv: list[str] | None = None) -> int:
         render = render_json if args.format == "json" else render_text
         print(render(result))
         return 1 if result.error_count else 0
+
+    if args.command == "check":
+        default_root = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "autograd"
+        )
+        paths = args.paths or [default_root]
+        try:
+            check = check_paths(paths, baseline_path=args.baseline)
+        except FileNotFoundError as exc:
+            print(f"repro check: error: {exc}", file=sys.stderr)
+            return 2
+        render = render_check_json if args.format == "json" else render_check_text
+        print(render(check))
+        return check.exit_code
 
     if args.command == "report":
         return _run_report(args)

@@ -180,7 +180,12 @@ class SaneSupernet(Module):
                     if self.normalize_ops:
                         out = _row_normalize(out)
                 outputs.append(out)
-            h = self.activation(ops.weighted_sum(outputs, weights))
+            # The Eq. 3 mixture is a tape node too; scope it so an
+            # alpha-minted NaN reports the edge instead of op=None.
+            with health.op_scope(
+                edge=f"node/{layer_index}", layer=layer_index, op="mixture"
+            ):
+                h = self.activation(ops.weighted_sum(outputs, weights))
             h = self.dropout(h)
             layer_outputs.append(h)
 
@@ -210,7 +215,8 @@ class SaneSupernet(Module):
         ):
             with health.op_scope(edge="layer/0", layer=None, op=name):
                 terms.append(projection(aggregator(skipped)))
-        return ops.weighted_sum(terms, weights)
+        with health.op_scope(edge="layer/0", layer=None, op="mixture"):
+            return ops.weighted_sum(terms, weights)
 
     def forward(self, features, cache: GraphCache) -> Tensor:
         return self.classifier(self.embed(features, cache))

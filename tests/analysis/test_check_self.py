@@ -1,0 +1,46 @@
+"""The autograd tree gates itself: ``repro check`` must stay clean.
+
+Tier-1 counterpart of ``test_self_check.py`` for the dataflow checker:
+every PR that touches ``src/repro/autograd`` re-runs the VJP, capture,
+escape and purity analyses here, so a dropped gradient or an impure
+kernel fails the default pytest suite — not just ``scripts/ci.sh``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import check_paths
+
+AUTOGRAD = Path(repro.__file__).parent / "autograd"
+
+
+@pytest.fixture(scope="module")
+def check():
+    return check_paths([AUTOGRAD])
+
+
+class TestCheckSelf:
+    def test_autograd_tree_has_no_live_findings(self, check):
+        assert check.result.findings == [], "\n" + "\n".join(
+            f.render() for f in check.result.findings
+        )
+        assert check.exit_code == 0
+
+    def test_baseline_covers_exactly_the_known_debt(self, check):
+        # One grandfathered finding: segment_attention_sum retains the
+        # edge-gathered x_src copy (see check_baseline.json). If this
+        # list shrinks, delete the baseline entry; if it grows, either
+        # declare a contract or consciously extend the baseline.
+        assert [(f.rule_id, f.symbol) for f in check.baselined] == [
+            ("undeclared-capture", "scatter.segment_attention_sum")
+        ]
+
+    def test_capture_report_covers_the_tape_sites(self, check):
+        symbols = {record["symbol"] for record in check.captures}
+        # Spot-check ops known to retain forward intermediates.
+        for expected in ("ops.matmul", "ops.softplus", "scatter.segment_softmax"):
+            assert expected in symbols
+        for record in check.captures:
+            assert record["path"].endswith(".py")

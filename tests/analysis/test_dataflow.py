@@ -1,0 +1,141 @@
+"""Seeded-defect regression tests for the dataflow checker.
+
+``test_check_self.py`` proves the real autograd tree is clean; these
+tests prove the checker would have *caught* the contract violations it
+exists for. Each test writes a module with one injected defect — a
+dropped input gradient, a backward that mutates a captured forward
+array, an impure public kernel — and asserts the corresponding rule
+fires with a nonzero exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import check_paths
+
+# Defect 1: ``b`` is a differentiable parent but its gradient slot is
+# ``None`` on every path — silent wrong gradients downstream.
+DROPPED_GRAD = """
+import numpy as np
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def bad_mul(a, b):
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(g):
+        return g * b.data, None
+
+    return Tensor._from_op(a.data * b.data, (a, b), backward)
+"""
+
+# Defect 2: the backward closure writes through ``out``, the very array
+# handed to the tape — corrupts the forward value other nodes may read.
+INPLACE_ESCAPE = """
+import numpy as np
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def bad_relu(x):
+    x = as_tensor(x)
+    mask = x.data > 0.0
+    out = x.data * mask
+
+    def backward(g):
+        out *= 0.0
+        return (g * mask,)
+
+    return Tensor._from_op(out, (x,), backward)
+"""
+
+# Defect 3: a public kernel mutating its input without a
+# ``@contract(mutates=...)`` declaration.
+IMPURE_KERNEL = """
+import numpy as np
+
+__all__ = ["bad_scatter"]
+
+
+def bad_scatter(values, segment_ids, num_segments):
+    values[0] = 0.0
+    out = np.zeros((num_segments,), dtype=np.float64)
+    np.add.at(out, segment_ids, values)
+    return out
+"""
+
+
+def _check(tmp_path, filename, source):
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return check_paths([path])
+
+
+def _rule_symbols(check):
+    return {(f.rule_id, f.symbol) for f in check.result.findings}
+
+
+class TestSeededDefects:
+    def test_dropped_gradient_is_caught(self, tmp_path):
+        check = _check(tmp_path, "badops.py", DROPPED_GRAD)
+        assert ("vjp-dropped-grad", "badops.bad_mul") in _rule_symbols(check)
+        assert check.exit_code == 1
+
+    def test_backward_mutating_captured_array_is_caught(self, tmp_path):
+        check = _check(tmp_path, "badops.py", INPLACE_ESCAPE)
+        rules = {f.rule_id for f in check.result.findings}
+        assert "inplace-escape" in rules
+        [finding] = [
+            f for f in check.result.findings if f.rule_id == "inplace-escape"
+        ]
+        assert "out" in finding.message
+        assert check.exit_code == 1
+
+    def test_impure_public_kernel_is_caught(self, tmp_path):
+        # The module is named kernels.py: purity applies to kernel
+        # modules' public surface.
+        check = _check(tmp_path, "kernels.py", IMPURE_KERNEL)
+        assert ("impure-kernel", "kernels.bad_scatter") in _rule_symbols(check)
+        assert check.exit_code == 1
+
+
+class TestBaselineAndSuppression:
+    def test_baseline_grandfathers_by_rule_path_symbol(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "rule": "vjp-dropped-grad",
+                            "path": "badops.py",
+                            "symbol": "badops.bad_mul",
+                        }
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        path = tmp_path / "badops.py"
+        path.write_text(textwrap.dedent(DROPPED_GRAD), encoding="utf-8")
+        check = check_paths([path], baseline_path=baseline)
+        assert "vjp-dropped-grad" not in {
+            f.rule_id for f in check.result.findings
+        }
+        assert [(f.rule_id, f.symbol) for f in check.baselined] == [
+            ("vjp-dropped-grad", "badops.bad_mul")
+        ]
+        assert check.exit_code == 0
+
+    def test_inline_suppression_uses_the_lint_syntax(self, tmp_path):
+        # VJP findings anchor at the backward definition line.
+        suppressed = DROPPED_GRAD.replace(
+            "def backward(g):",
+            "def backward(g):  # lint: disable=vjp-dropped-grad",
+        )
+        check = _check(tmp_path, "badops.py", suppressed)
+        assert "vjp-dropped-grad" not in {
+            f.rule_id for f in check.result.findings
+        }
+        assert "vjp-dropped-grad" in {f.rule_id for f in check.result.suppressed}

@@ -2,8 +2,8 @@
 
 This is the tier-1 enforcement hook the tentpole asks for — every
 future PR runs it via the default pytest suite, so an unsuppressed
-error-severity finding under ``src/repro``, ``tests`` or
-``benchmarks`` fails CI.
+error-severity finding under ``src/repro``, ``tests``,
+``benchmarks``, ``examples`` or ``scripts`` fails CI.
 """
 
 from pathlib import Path
@@ -13,7 +13,13 @@ from repro.analysis import Severity, lint_paths
 
 PACKAGE_ROOT = Path(repro.__file__).parent
 REPO_ROOT = PACKAGE_ROOT.parent.parent
-LINT_ROOTS = [PACKAGE_ROOT, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+LINT_ROOTS = [
+    PACKAGE_ROOT,
+    REPO_ROOT / "tests",
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "examples",
+    REPO_ROOT / "scripts",
+]
 
 # Rules the tree legitimately suppresses, each pattern reviewed:
 # - tape-mutation: deliberate out-of-tape Tensor.data writes (optimiser
