@@ -1,0 +1,91 @@
+"""Benchmark: serving throughput of an exported SANE genotype.
+
+Trains a representative searched architecture once (no search — the
+genotype is fixed so the bench measures serving, not NAS), bundles it
+through the artifact round-trip, then drives the batching server with
+the deterministic closed-loop load generator across the per-scale
+concurrency sweep (1 → 10k simulated clients at ``full``).
+
+Gated numbers: per-level ``serve.c<N>.rps`` (higher-better,
+wall-clock tolerance) and ``serve.c<N>.p50/p99_latency_s``
+(lower-better, wall-clock tolerance).
+
+Shape assertions at every scale: ≥3 levels swept, every level
+completes its request budget, latencies are positive and ordered
+(p50 ≤ p99), and the server's batched predictions are bit-identical
+to the engine's single-request path.
+"""
+
+import numpy as np
+
+from repro.core.search_space import Architecture
+from repro.serve import (
+    InferenceEngine,
+    ServeServer,
+    bench_metrics,
+    export_architecture,
+    load_artifact,
+    render_load_report,
+    run_load,
+    save_artifact,
+    sweep_levels,
+)
+
+from common import bench_scale, show, tracked_run
+
+# A fixed searched-like genotype (attention + convolution + sampling
+# layers under a concat JK head) so every run serves the same model.
+GENOTYPE = Architecture(
+    node_aggregators=("gat", "gcn", "sage-mean"),
+    skip_connections=("identity", "identity", "identity"),
+    layer_aggregator="concat",
+)
+REQUESTS_PER_LEVEL = {"smoke": 64, "default": 256, "full": 2048}
+
+
+def test_serve_throughput(benchmark, tmp_path):
+    scale = bench_scale()
+    levels = sweep_levels(scale.name)
+    budget = REQUESTS_PER_LEVEL[scale.name]
+
+    artifact = export_architecture(GENOTYPE, "cora", scale, seed=0)
+    path = save_artifact(artifact, tmp_path / "artifact.json")
+    engine = InferenceEngine.from_artifact(load_artifact(path))
+
+    with tracked_run("serve_throughput") as run:
+        with ServeServer(engine, max_batch=64) as server:
+            results = benchmark.pedantic(
+                lambda: run_load(
+                    server, levels, requests_per_level=budget, seed=0
+                ),
+                rounds=1,
+                iterations=1,
+            )
+        bench_metrics(results, run.metrics)
+        run.extra["levels"] = [
+            {
+                "concurrency": r.concurrency,
+                "requests": r.requests,
+                "rps": r.rps,
+                "p50_s": r.p50_s,
+                "p99_s": r.p99_s,
+            }
+            for r in results
+        ]
+        run.extra["plan_cache"] = engine.plan_cache.stats()
+    show("Serve throughput — concurrency sweep", render_load_report(results))
+
+    # Structural shape (every scale).
+    assert len(results) >= 3
+    for result in results:
+        assert result.requests == budget
+        assert 0.0 < result.p50_s <= result.p99_s
+        assert result.rps > 0.0
+
+    # Batched serving must not change predictions: one request through
+    # the server equals the engine's direct single-request answer.
+    ids = np.arange(min(8, engine.num_targets))
+    direct = engine.predict(node_ids=ids)
+    with ServeServer(engine, max_batch=64) as server:
+        served = server.submit(node_ids=ids)
+    assert np.array_equal(direct, served)

@@ -36,6 +36,31 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> bench regression gate"
     python -m repro report bench --bench-dir "$BENCH_DIR"
 
+    # End-to-end serving path through the CLI (not the pytest bench):
+    # export an artifact, serve it with the load generator, and gate
+    # the emitted payload against its committed smoke baseline. The
+    # bench is named serve_cli because it serves a different model (a
+    # GAT baseline — trains fast, still exercises both scatter kernel
+    # families) than the pytest bench's fixed genotype, so the two
+    # payloads gate against separate baselines. The serve_cli baseline
+    # lives in baselines/cli/ so the directory-scan gate above (which
+    # treats a committed baseline with no fresh payload as a
+    # regression) only pairs against pytest-emitted benches. Own temp
+    # dir so the pytest bench output above is not clobbered.
+    SERVE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$BENCH_DIR" "$SERVE_DIR"' EXIT
+    echo "==> serve smoke (repro export + repro serve --bench) -> $SERVE_DIR"
+    REPRO_SCALE=smoke python -m repro export baseline gat cora \
+        --out "$SERVE_DIR/artifact.json"
+    # 256 requests/level so p99 is the 3rd-largest sample instead of
+    # the max; the looser time tolerance reflects that sub-millisecond
+    # smoke latencies still jitter far more than long-running benches.
+    REPRO_SCALE=smoke REPRO_BENCH_DIR="$SERVE_DIR" \
+        python -m repro serve "$SERVE_DIR/artifact.json" --bench \
+        --bench-name serve_cli --requests 256
+    python -m repro report bench --baselines benchmarks/baselines/cli \
+        --time-tolerance 1.5 "$SERVE_DIR/BENCH_serve_cli.json"
+
     # Publish the fresh payloads to the repo root so the bench
     # trajectory (wall-clock + kernel byte counters) is tracked across
     # PRs, not just inside the throwaway tmp dir.

@@ -28,6 +28,7 @@ __all__ = [
     "NakedPrintRule",
     "UncheckedNanSourceRule",
     "MissingOpScopeRule",
+    "TapeInInferenceRule",
     "CORE_RULES",
 ]
 
@@ -684,6 +685,100 @@ class MissingOpScopeRule(Rule):
         return result
 
 
+class TapeInInferenceRule(Rule):
+    """Tape-building ops in ``repro.serve`` hot paths outside ``no_grad``.
+
+    The serving engine's contract is that inference never builds a
+    tape: no backward closures allocated, no intermediates retained,
+    and the batched/single bit-identity argument rests on eval-mode
+    forwards being pure functions of the inputs. A ``model.forward``/
+    ``encode``/``embed`` call in serve code that is not lexically
+    inside a ``with no_grad():`` block silently re-enables tape
+    recording — every request leaks its graph of backward closures
+    until something drops the result. ``.backward()`` has no business
+    in serving at all and is flagged unconditionally. Lexical scoping
+    is deliberate: it forces the serve modules to keep the guard
+    visible at the call site (wrappers that hide it defeat review).
+    Intentional exceptions — e.g. a debug endpoint that inspects
+    gradients — carry a ``# lint: disable=tape-in-inference``
+    justification.
+    """
+
+    rule_id = "tape-in-inference"
+    severity = Severity.ERROR
+    description = (
+        "forward/encode/embed outside no_grad() (or any .backward()) "
+        "in repro.serve"
+    )
+    node_types = (ast.Call,)
+
+    _TAPE_BUILDERS = frozenset({"forward", "encode", "embed"})
+
+    def __init__(self) -> None:
+        # Same per-module cache shape as MissingOpScopeRule: ids of
+        # nodes lexically inside a `with no_grad():` body for the tree
+        # currently being walked.
+        self._cached_tree: ast.Module | None = None
+        self._cached_guarded: set[int] | None = None
+
+    def check(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        name = _call_name(node)
+        if name == "backward":
+            yield self.finding(
+                node,
+                ctx,
+                ".backward() in serving code builds and consumes a tape; "
+                "inference must stay gradient-free — move training out of "
+                "repro.serve or justify with # lint: disable=tape-in-inference",
+            )
+            return
+        if name not in self._TAPE_BUILDERS:
+            return
+        # `"x".encode("ascii")` is a codec call, not the aligner's
+        # tape-building `model.encode()`: the model API takes no
+        # arguments, codec encodes take the codec name.
+        if name in ("encode", "embed") and (node.args or node.keywords):
+            return
+        if id(node) in self._guarded_nodes(ctx.tree):
+            return
+        yield self.finding(
+            node,
+            ctx,
+            f".{name}() outside a lexical `with no_grad():` block records "
+            "a tape per request and leaks backward closures under load; "
+            "wrap the call site (or justify with "
+            "# lint: disable=tape-in-inference)",
+        )
+
+    def _guarded_nodes(self, tree: ast.Module) -> set[int]:
+        if tree is self._cached_tree:
+            return self._cached_guarded
+        guarded: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                if any(
+                    isinstance(item.context_expr, ast.Call)
+                    and _call_name(item.context_expr) == "no_grad"
+                    for item in node.items
+                ):
+                    for stmt in node.body:
+                        guarded.update(id(child) for child in ast.walk(stmt))
+        self._cached_tree = tree
+        self._cached_guarded = guarded
+        return guarded
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        """True for files inside the ``repro.serve`` package."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+        return len(rest) >= 2 and rest[1] == "serve"
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -698,4 +793,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     NakedPrintRule,
     UncheckedNanSourceRule,
     MissingOpScopeRule,
+    TapeInInferenceRule,
 )

@@ -49,6 +49,7 @@ from repro.autograd.contracts import contract
 
 __all__ = [
     "BACKENDS",
+    "LruMap",
     "SegmentPlan",
     "plan_for",
     "peek_plan",
@@ -182,12 +183,61 @@ class SegmentPlan:
         return cached
 
 
+class LruMap:
+    """Bounded mapping with least-recently-used eviction.
+
+    The one cache shape this codebase needs, factored out of the plan
+    memo below so other caches (the serve layer's per-graph plan cache)
+    share its semantics: :meth:`get` promotes the entry to
+    most-recently-used, :meth:`peek` reads without promoting, and
+    :meth:`put` inserts (promoting on overwrite) then evicts from the
+    cold end until the map fits ``capacity``, returning what it dropped
+    so callers can count or finalise evictions.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key, default=None):
+        """Value for ``key`` (promoted to most-recently-used) or ``default``."""
+        if key not in self._entries:
+            return default
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def peek(self, key, default=None):
+        """Value for ``key`` without touching the recency order."""
+        return self._entries.get(key, default)
+
+    def put(self, key, value) -> list:
+        """Insert ``key -> value``; return the ``(key, value)`` pairs evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted = []
+        while len(self._entries) > self.capacity:
+            evicted.append(self._entries.popitem(last=False))
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 # Plan memo for call sites that do not thread an explicit plan (graph
 # pooling, KG alignment). Keyed by the identity of the id array: a live
 # entry pins its array, so the id cannot be recycled while the entry
 # exists. Bounded so ad-hoc id arrays cannot grow the memo forever.
-_PLAN_MEMO: OrderedDict[tuple[int, int], SegmentPlan] = OrderedDict()
-_PLAN_MEMO_CAPACITY = 128
+_PLAN_MEMO = LruMap(capacity=128)
 
 
 @contract(
@@ -204,7 +254,6 @@ def plan_for(segment_ids: np.ndarray, num_segments: int) -> SegmentPlan:
     key = (id(segment_ids), int(num_segments))
     plan = _PLAN_MEMO.get(key)
     if plan is not None and plan.segment_ids is segment_ids:
-        _PLAN_MEMO.move_to_end(key)
         return plan
     ids = np.asarray(segment_ids, dtype=np.int64)
     plan = SegmentPlan(ids, num_segments)
@@ -212,16 +261,14 @@ def plan_for(segment_ids: np.ndarray, num_segments: int) -> SegmentPlan:
         # The input needed conversion; key the memo by the converted
         # array the plan actually holds so identity stays meaningful.
         key = (id(plan.segment_ids), int(num_segments))
-    _PLAN_MEMO[key] = plan
-    while len(_PLAN_MEMO) > _PLAN_MEMO_CAPACITY:
-        _PLAN_MEMO.popitem(last=False)
+    _PLAN_MEMO.put(key, plan)
     return plan
 
 
 def peek_plan(segment_ids: np.ndarray, num_segments: int) -> SegmentPlan | None:
     """Cached plan for ``(segment_ids, num_segments)``, or None (no build)."""
     key = (id(segment_ids), int(num_segments))
-    plan = _PLAN_MEMO.get(key)
+    plan = _PLAN_MEMO.peek(key)
     if plan is not None and plan.segment_ids is segment_ids:
         return plan
     return None

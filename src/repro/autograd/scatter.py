@@ -70,6 +70,12 @@ def segment_attention_sum(
     the weight gradient as a trailing-axis inner product directly.
     ``src_plan`` covers the adjoint scatter back to ``x`` rows,
     ``plan`` the forward reduction.
+
+    The backward recomputes the edge-gathered source rows (one
+    ``np.take``, ~2% of a forward) and the weight-column view instead
+    of retaining them: the parents' storage is on the tape anyway, so
+    re-deriving both drops the closure's only large capture — the
+    ``(E, F)`` gathered copy — from every attention/GCN tape node.
     """
     x, weights = as_tensor(x), as_tensor(weights)
     src_index = np.asarray(src_index, dtype=np.int64)
@@ -79,22 +85,27 @@ def segment_attention_sum(
             f"x must have one more axis than weights, got {x.shape} "
             f"and {weights.shape}"
         )
-    x_src = np.take(x.data, src_index, axis=0)
-    w_edge = weights.data[..., None]
     out = kernels.scatter_sum(
-        x_src * w_edge, segment_ids, num_segments, plan
+        np.take(x.data, src_index, axis=0) * weights.data[..., None],
+        segment_ids,
+        num_segments,
+        plan,
     )
     num_rows = x.data.shape[0]
 
     def backward(g):
         g_edge = np.take(g, segment_ids, axis=0)
         grad_x = (
-            kernels.scatter_sum(g_edge * w_edge, src_index, num_rows, src_plan)
+            kernels.scatter_sum(
+                g_edge * weights.data[..., None], src_index, num_rows, src_plan
+            )
             if x.requires_grad
             else None
         )
         grad_w = (
-            (g_edge * x_src).sum(axis=-1) if weights.requires_grad else None
+            (g_edge * np.take(x.data, src_index, axis=0)).sum(axis=-1)
+            if weights.requires_grad
+            else None
         )
         return grad_x, grad_w
 

@@ -11,6 +11,8 @@ Commands
 ``check``            interprocedural autograd contract analysis (dataflow)
 ``profile``          run search/baseline under the profiler (repro.obs)
 ``report``           render telemetry dashboards and the bench gate
+``export``           train a model and bundle it as a servable artifact
+``serve``            serve an exported artifact (demo or load bench)
 
 All commands take ``--scale smoke|default|full`` (default: value of
 ``REPRO_SCALE`` or ``default``), ``--seed``, and ``--kernels
@@ -21,9 +23,12 @@ accepted both before and after the subcommand.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from pathlib import Path
+
+import numpy as np
 
 from repro.analysis import (
     check_paths,
@@ -54,6 +59,21 @@ from repro.experiments import (
     run_table10,
 )
 from repro.graph.datasets import ALL_DATASETS, load_dataset
+from repro.obs import InMemorySink, get_tracer
+from repro.serve import (
+    ArtifactError,
+    InferenceEngine,
+    ServeServer,
+    emit_serve_bench,
+    export_alignment,
+    export_baseline,
+    export_search,
+    load_artifact,
+    render_load_report,
+    run_load,
+    save_artifact,
+    sweep_levels,
+)
 from repro.train.metrics import format_mean_std
 
 __all__ = ["build_parser", "main"]
@@ -275,9 +295,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="also gate per-phase span timings (noisy across machines)",
     )
 
+    export = commands.add_parser(
+        "export", help="train a model and bundle it as a servable artifact"
+    )
+    targets = export.add_subparsers(dest="target", required=True)
+    export_search_p = targets.add_parser(
+        "search", help="run SANE, train the winning genotype, bundle it"
+    )
+    export_search_p.add_argument("dataset", choices=ALL_DATASETS)
+    export_search_p.add_argument("--layers", type=int, default=3)
+    export_search_p.add_argument("--epsilon", type=float, default=0.0)
+    export_search_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default: artifact-search-<dataset>.json)",
+    )
+    export_baseline_p = targets.add_parser(
+        "baseline", help="train a human baseline and bundle it"
+    )
+    export_baseline_p.add_argument("name", help="e.g. gcn, gat-jk")
+    export_baseline_p.add_argument("dataset", choices=ALL_DATASETS)
+    export_baseline_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default: artifact-baseline-<name>-<dataset>.json)",
+    )
+    export_kg_p = targets.add_parser(
+        "kg", help="train an entity-alignment encoder and bundle it"
+    )
+    export_kg_p.add_argument(
+        "--aggregators",
+        nargs="+",
+        default=["gat", "geniepath"],
+        help="per-layer encoder aggregators (default: the paper's "
+        "searched GAT-GeniePath)",
+    )
+    export_kg_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default: artifact-kg.json)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve an exported artifact (demo or load bench)"
+    )
+    serve.add_argument("artifact", help="artifact JSON from `repro export`")
+    serve.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the concurrency sweep and emit BENCH_serve_throughput.json "
+        "to REPRO_BENCH_DIR",
+    )
+    serve.add_argument(
+        "--levels",
+        nargs="+",
+        type=int,
+        default=None,
+        help="concurrency levels to sweep (default: per-scale preset)",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="requests per concurrency level (default: per-scale preset)",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument(
+        "--bench-name",
+        default="serve_throughput",
+        metavar="NAME",
+        help="bench payload name: emits BENCH_<NAME>.json and gates "
+        "against the baseline of the same name (default: serve_throughput)",
+    )
+
     _add_common_options(
         stats, search, baseline, table, figure, lint, check, profile,
         report, report_run, report_diff, report_memory, report_bench,
+        export, export_search_p, export_baseline_p, export_kg_p, serve,
     )
     return parser
 
@@ -333,6 +431,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "profile":
         return _run_profile(args, scale)
+
+    if args.command == "export":
+        return _run_export(args, scale)
+
+    if args.command == "serve":
+        return _run_serve(args, scale)
 
     if args.command == "stats":
         print(run_table4(scale, seed=args.seed).render())
@@ -505,6 +609,133 @@ def _run_report_bench(args) -> int:
         if any(delta.gates for delta in deltas):
             failed = True
     return 1 if failed else 0
+
+
+# Requests per concurrency level when `repro serve --bench` is not
+# given an explicit --requests budget.
+_SERVE_BENCH_REQUESTS = {"smoke": 64, "default": 256, "full": 2048}
+
+
+def _run_export(args, scale) -> int:
+    """``repro export``: train a model and write its artifact bundle."""
+    try:
+        if args.target == "search":
+            artifact = export_search(
+                args.dataset, scale, seed=args.seed,
+                num_layers=args.layers, epsilon=args.epsilon,
+            )
+            default_out = f"artifact-search-{args.dataset}.json"
+        elif args.target == "baseline":
+            artifact = export_baseline(
+                args.name, args.dataset, scale, seed=args.seed
+            )
+            default_out = f"artifact-baseline-{args.name}-{args.dataset}.json"
+        else:
+            artifact = export_alignment(
+                scale, seed=args.seed,
+                node_aggregators=tuple(args.aggregators),
+            )
+            default_out = "artifact-kg.json"
+    except ArtifactError as exc:
+        print(f"repro export: error: {exc}", file=sys.stderr)
+        return 2
+    path = save_artifact(artifact, args.out or default_out)
+    payload = artifact.to_payload()
+    print(f"artifact:  {path}")
+    print(f"task:      {artifact.task}")
+    if artifact.genotype is not None:
+        print(f"genotype:  {artifact.architecture() or artifact.genotype}")
+    for key, value in sorted(artifact.training.items()):
+        print(f"{key + ':':<11}{value:.4f}" if isinstance(value, float)
+              else f"{key + ':':<11}{value}")
+    print(f"weights:   {len(artifact.weights)} tensors")
+    print(f"hash:      {payload['content_hash']}")
+    return 0
+
+
+def _run_serve(args, scale) -> int:
+    """``repro serve``: load an artifact, run demo traffic or the bench."""
+    try:
+        artifact = load_artifact(args.artifact)
+        engine = InferenceEngine.from_artifact(artifact)
+    except (OSError, ArtifactError) as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"artifact:  {args.artifact}")
+    print(f"task:      {artifact.task}")
+    if artifact.genotype is not None:
+        print(f"genotype:  {artifact.architecture() or artifact.genotype}")
+
+    if args.bench:
+        levels = tuple(args.levels) if args.levels else sweep_levels(args.scale)
+        budget = args.requests or _SERVE_BENCH_REQUESTS[args.scale]
+        sink = InMemorySink()
+        # Same kernel byte counters as benchmarks/common.py::tracked_run,
+        # so the CLI payload carries every metric family the committed
+        # baseline has (a family missing from a fresh run gates).
+        counters = kernels.KernelCounters(clock=get_tracer().clock)
+        with get_tracer().collect(sink), kernels.count_kernels(counters):
+            with ServeServer(
+                engine, max_batch=args.max_batch, workers=args.workers
+            ) as server:
+                results = run_load(
+                    server, levels, requests_per_level=budget, seed=args.seed
+                )
+        registry = engine.metrics.registry
+        for kernel, stats in counters.snapshot().items():
+            registry.gauge(f"kernel.{kernel}.bytes_moved").set(
+                stats["bytes_moved"]
+            )
+            if stats["effective_gbps"] is not None:
+                registry.gauge(f"kernel.{kernel}.effective_gbps").set(
+                    stats["effective_gbps"]
+                )
+        engine.metrics.finalize(wall_s=sum(r.wall_s for r in results))
+        bench_path = emit_serve_bench(
+            args.bench_name,
+            results,
+            spans=sink.spans,
+            registry=engine.metrics.registry,
+            extra={
+                "levels": [dataclasses.asdict(r) for r in results],
+                "plan_cache": engine.plan_cache.stats(),
+                "max_batch": args.max_batch,
+                "workers": args.workers,
+            },
+        )
+        print()
+        print(render_load_report(results))
+        print()
+        print(f"bench:     {bench_path}")
+        return 0
+
+    with ServeServer(
+        engine, max_batch=args.max_batch, workers=args.workers
+    ) as server:
+        rng = np.random.default_rng(args.seed)
+        ids = np.sort(
+            rng.choice(
+                engine.num_targets,
+                size=min(8, engine.num_targets),
+                replace=False,
+            )
+        )
+        predictions = server.submit(node_ids=ids)
+    summary = engine.metrics.finalize()
+    print(f"targets:   {ids.tolist()}")
+    if artifact.task == "kg_alignment":
+        top1 = np.argmax(predictions, axis=1)
+        print(f"aligned:   {top1.tolist()} (top-1 kg2 entity per target)")
+    else:
+        classes = np.argmax(predictions, axis=1)
+        print(f"classes:   {classes.tolist()}")
+    if "p50_s" in summary:
+        print(
+            f"latency:   p50 {summary['p50_s'] * 1e3:.2f} ms, "
+            f"p99 {summary['p99_s'] * 1e3:.2f} ms "
+            f"({summary['requests']} request(s))"
+        )
+    return 0
 
 
 def _run_profile(args, scale) -> int:

@@ -3,9 +3,10 @@
 Compares freshly emitted ``BENCH_<name>.json`` summaries (written by
 ``benchmarks/common.py::tracked_run``) against committed baselines and
 flags metrics that degraded beyond a relative tolerance. Direction is
-inferred from the metric name — ``*time*``/``*loss*`` tokens are
-lower-is-better, ``*score*``/``*speedup*`` higher-is-better; metrics
-with no recognised token are reported but never gate.
+inferred from the metric name — ``*time*``/``*loss*``/``*latency*``
+tokens are lower-is-better, ``*score*``/``*speedup*``/``*rps*``
+higher-is-better; metrics with no recognised token are reported but
+never gate.
 
 Wall-clock metrics are machine-dependent, so they get their own
 (looser) tolerance — including ``speedup`` ratios, which are
@@ -38,12 +39,15 @@ _LOWER_BETTER = frozenset(
     {"time", "loss", "seconds", "latency", "duration", "bytes", "memory"}
 )
 _HIGHER_BETTER = frozenset(
-    {"score", "scores", "speedup", "accuracy", "acc", "f1", "auc", "hits", "mrr"}
+    {"score", "scores", "speedup", "accuracy", "acc", "f1", "auc", "hits",
+     "mrr", "rps", "throughput"}
 )
 # Higher-is-better metrics that are nevertheless ratios of wall-clock
 # measurements, so they inherit wall-clock noise and the looser
-# time tolerance.
-_WALL_CLOCK_RATIO = frozenset({"speedup"})
+# time tolerance. Requests/s from the serve bench is the same kind of
+# number as a speedup: direction is meaningful, magnitude is machine-
+# dependent.
+_WALL_CLOCK_RATIO = frozenset({"speedup", "rps", "throughput"})
 
 
 def metric_direction(name: str) -> int:

@@ -330,6 +330,11 @@ def render_diff(path_a: str | Path, path_b: str | Path) -> str:
     if hotspot_lines:
         lines.append("")
         lines.extend(hotspot_lines)
+
+    memory_lines = _memory_deltas(records_a, records_b, label_a, label_b)
+    if memory_lines:
+        lines.append("")
+        lines.extend(memory_lines)
     return "\n".join(lines)
 
 
@@ -393,4 +398,83 @@ def _hotspot_deltas(
     lines.extend(
         format_table(["phase", label_a, label_b, "delta", "pct"], rows)
     )
+    return lines
+
+
+def _last_memory_stats(records: list[dict]) -> dict | None:
+    stats = None
+    for record in records:
+        if record.get("type") == "memory_stats":
+            stats = record.get("data")
+    return stats
+
+
+def _memory_deltas(
+    records_a: list[dict],
+    records_b: list[dict],
+    label_a: str,
+    label_b: str,
+    top: int = 8,
+) -> list[str]:
+    """Per-op retained/peak tape-memory deltas between two recorded runs.
+
+    Only rendered when both traces carry a ``memory_stats`` record
+    (i.e. both were captured with ``repro profile --memory``), so
+    plain event logs keep their byte-identical dashboards.
+    """
+    stats_a = _last_memory_stats(records_a)
+    stats_b = _last_memory_stats(records_b)
+    if stats_a is None or stats_b is None:
+        return []
+    from repro.obs.memory import _bytes_human
+
+    peak_a = stats_a.get("peak_live_bytes", 0)
+    peak_b = stats_b.get("peak_live_bytes", 0)
+    sign = "+" if peak_b >= peak_a else "-"
+    lines = [
+        f"tape memory deltas ({label_b} - {label_a}):",
+        f"overall peak live: {_bytes_human(peak_a)} -> {_bytes_human(peak_b)} "
+        f"({sign}{_bytes_human(abs(peak_b - peak_a))})",
+    ]
+    ops_a = stats_a.get("per_op") or {}
+    ops_b = stats_b.get("per_op") or {}
+
+    def _delta_key(op: str) -> float:
+        entry_a = ops_a.get(op) or {}
+        entry_b = ops_b.get(op) or {}
+        return -abs(
+            entry_b.get("retained_bytes", 0) - entry_a.get("retained_bytes", 0)
+        ) - abs(
+            entry_b.get("peak_live_bytes", 0) - entry_a.get("peak_live_bytes", 0)
+        )
+
+    rows = []
+    for op in sorted(set(ops_a) | set(ops_b), key=_delta_key)[:top]:
+        entry_a = ops_a.get(op) or {}
+        entry_b = ops_b.get(op) or {}
+        retained_a = entry_a.get("retained_bytes", 0)
+        retained_b = entry_b.get("retained_bytes", 0)
+        peak_op_a = entry_a.get("peak_live_bytes", 0)
+        peak_op_b = entry_b.get("peak_live_bytes", 0)
+        rows.append(
+            [
+                op,
+                _bytes_human(retained_a),
+                _bytes_human(retained_b),
+                f"{'+' if retained_b >= retained_a else '-'}"
+                f"{_bytes_human(abs(retained_b - retained_a))}",
+                _bytes_human(peak_op_a),
+                _bytes_human(peak_op_b),
+                f"{'+' if peak_op_b >= peak_op_a else '-'}"
+                f"{_bytes_human(abs(peak_op_b - peak_op_a))}",
+            ]
+        )
+    if rows:
+        lines.extend(
+            format_table(
+                ["op", f"retained {label_a}", f"retained {label_b}", "Δret",
+                 f"peak {label_a}", f"peak {label_b}", "Δpeak"],
+                rows,
+            )
+        )
     return lines

@@ -1,0 +1,192 @@
+"""Deterministic closed-loop load generator + the throughput bench.
+
+Simulates N concurrent clients against a :class:`~repro.serve.server.
+ServeServer` without N OS threads: each sweep level keeps N requests
+outstanding (submit a wave of N ``submit_async``, block on all
+results, repeat) until the level's request budget is spent. The
+request *sequence* — which node ids each request asks for — is fully
+seeded, so two runs issue byte-identical work; only wall-clock
+varies, and the bench gate applies its wall-clock tolerance to
+exactly those numbers.
+
+Per level the sweep reports requests/s and nearest-rank p50/p99
+enqueue→resolve latency, published as ``serve.c<N>.rps`` /
+``serve.c<N>.p50_latency_s`` / ``serve.c<N>.p99_latency_s`` gauges —
+names chosen so the bench gate's token inference reads them as
+higher-is-better wall-clock ratio and lower-is-better wall-clock
+respectively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.obs import MetricsRegistry, TRACE_VERSION, aggregate_spans
+from repro.obs.report import format_table
+from repro.serve.metrics import nearest_rank_percentile
+from repro.serve.server import ServeServer
+
+__all__ = [
+    "LevelResult",
+    "sweep_levels",
+    "run_load",
+    "render_load_report",
+    "bench_metrics",
+    "emit_serve_bench",
+]
+
+# 1 → 10k simulated clients at full scale; the smaller presets keep the
+# smoke/default sweeps inside CI budgets while preserving ≥3 levels.
+_SWEEPS = {
+    "smoke": (1, 4, 16),
+    "default": (1, 8, 64, 256),
+    "full": (1, 10, 100, 1000, 10000),
+}
+
+
+def sweep_levels(scale_name: str) -> tuple[int, ...]:
+    """Concurrency levels for one scale preset."""
+    try:
+        return _SWEEPS[scale_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale_name!r}; choose from {sorted(_SWEEPS)}"
+        ) from None
+
+
+@dataclasses.dataclass
+class LevelResult:
+    """Throughput/latency summary of one concurrency level."""
+
+    concurrency: int
+    requests: int
+    wall_s: float
+    rps: float
+    p50_s: float
+    p99_s: float
+
+
+def run_load(
+    server: ServeServer,
+    levels: tuple[int, ...],
+    requests_per_level: int,
+    seed: int = 0,
+    ids_per_request: int = 4,
+) -> list[LevelResult]:
+    """Closed-loop sweep over ``levels``; the server must be started."""
+    num_targets = server.engine.num_targets
+    rng = np.random.default_rng(seed)
+    results: list[LevelResult] = []
+    for level in levels:
+        latencies: list[float] = []
+        span = obs.span(
+            "serve.loadgen.level", kind="serve", concurrency=level
+        ).start()
+        done = 0
+        while done < requests_per_level:
+            wave = min(level, requests_per_level - done)
+            pendings = [
+                server.submit_async(
+                    node_ids=rng.integers(0, num_targets, size=ids_per_request)
+                )
+                for __ in range(wave)
+            ]
+            for pending in pendings:
+                pending.result()
+                latencies.append(pending.latency)
+            done += wave
+        span.finish()
+        wall = span.duration
+        results.append(
+            LevelResult(
+                concurrency=level,
+                requests=done,
+                wall_s=wall,
+                rps=done / wall if wall > 0 else float("inf"),
+                p50_s=nearest_rank_percentile(latencies, 50.0),
+                p99_s=nearest_rank_percentile(latencies, 99.0),
+            )
+        )
+    return results
+
+
+def render_load_report(results: list[LevelResult]) -> str:
+    """Human-readable sweep table (the CLI prints it)."""
+    rows = [
+        [
+            str(result.concurrency),
+            str(result.requests),
+            f"{result.wall_s:.3f}",
+            f"{result.rps:.1f}",
+            f"{result.p50_s * 1e3:.2f}",
+            f"{result.p99_s * 1e3:.2f}",
+        ]
+        for result in results
+    ]
+    lines = format_table(
+        ["clients", "requests", "wall_s", "req/s", "p50_ms", "p99_ms"], rows
+    )
+    return "\n".join(lines)
+
+
+def bench_metrics(
+    results: list[LevelResult],
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Publish per-level gauges in the bench-gate naming scheme."""
+    registry = registry if registry is not None else MetricsRegistry()
+    for result in results:
+        prefix = f"serve.c{result.concurrency}"
+        registry.gauge(f"{prefix}.rps").set(result.rps)
+        registry.gauge(f"{prefix}.p50_latency_s").set(result.p50_s)
+        registry.gauge(f"{prefix}.p99_latency_s").set(result.p99_s)
+    return registry
+
+
+def emit_serve_bench(
+    name: str,
+    results: list[LevelResult],
+    spans=(),
+    registry: MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Write a ``BENCH_<name>.json`` payload for the regression gate.
+
+    Same shape as ``benchmarks/common.py::emit_metrics`` (the gate
+    reads either interchangeably); lives here so ``repro serve
+    --bench`` works from an installed package without the benchmarks
+    tree on the path.
+    """
+    registry = bench_metrics(results, registry)
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": name,
+        "version": TRACE_VERSION,
+        "scale": os.environ.get("REPRO_SCALE", "default"),
+        "spans": [
+            {
+                "path": agg.path,
+                "count": agg.count,
+                "total_s": agg.total,
+                "self_s": agg.self_time,
+                "mean_s": agg.mean,
+                "min_s": agg.minimum,
+                "max_s": agg.maximum,
+            }
+            for agg in aggregate_spans(spans)
+        ],
+        "metrics": registry.snapshot(),
+        "extra": dict(extra or {}),
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

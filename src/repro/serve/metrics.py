@@ -1,0 +1,79 @@
+"""Serve-path instruments: queue depth, batch size, latency percentiles.
+
+Thin layer over :class:`repro.obs.metrics.MetricsRegistry`. The
+registry's :class:`~repro.obs.metrics.Histogram` keeps only
+count/total/min/max/last — no reservoir — so the p50/p99 tail numbers
+the throughput bench gates on are computed here from a retained
+latency sample list (nearest-rank percentiles, the deterministic
+textbook definition) and published as gauges:
+
+* ``serve.requests`` / ``serve.batches`` counters,
+* ``serve.queue_depth`` gauge (depth after each enqueue/drain),
+* ``serve.batch_size`` / ``serve.latency_s`` histograms,
+* ``serve.latency.p50_s`` / ``serve.latency.p99_s`` / ``serve.rps``
+  gauges, filled by :meth:`ServeMetrics.finalize`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ServeMetrics", "nearest_rank_percentile"]
+
+
+def nearest_rank_percentile(samples, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample."""
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+class ServeMetrics:
+    """Instruments shared by the engine, the server, and the load gen."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    def observe_requests(self, count: int = 1) -> None:
+        self.registry.counter("serve.requests").inc(count)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        self.registry.gauge("serve.queue_depth").set(depth)
+
+    def observe_batch(self, size: int) -> None:
+        self.registry.counter("serve.batches").inc()
+        self.registry.histogram("serve.batch_size").observe(size)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latencies.append(float(seconds))
+        self.registry.histogram("serve.latency_s").observe(seconds)
+
+    def observe_plan_cache(self, stats: dict) -> None:
+        # Cumulative cache stats land as gauges (last snapshot wins);
+        # hits/misses are "size-like" counts, not latencies, so none of
+        # these gate in the bench comparison.
+        self.registry.gauge("serve.plan_cache.size").set(stats["size"])
+        self.registry.gauge("serve.plan_cache.hit_count").set(stats["hits"])
+        self.registry.gauge("serve.plan_cache.miss_count").set(stats["misses"])
+
+    # ------------------------------------------------------------------
+    def finalize(self, wall_s: float | None = None) -> dict:
+        """Publish tail-latency/throughput gauges; returns the summary."""
+        summary: dict = {"requests": len(self.latencies)}
+        if self.latencies:
+            p50 = nearest_rank_percentile(self.latencies, 50.0)
+            p99 = nearest_rank_percentile(self.latencies, 99.0)
+            self.registry.gauge("serve.latency.p50_s").set(p50)
+            self.registry.gauge("serve.latency.p99_s").set(p99)
+            summary.update(p50_s=p50, p99_s=p99)
+        if wall_s is not None and wall_s > 0.0:
+            rps = len(self.latencies) / wall_s
+            self.registry.gauge("serve.rps").set(rps)
+            summary["rps"] = rps
+        return summary

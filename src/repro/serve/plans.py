@@ -1,0 +1,82 @@
+"""Content-keyed LRU cache of per-graph segment plans.
+
+Every inference forward needs a :class:`~repro.gnn.common.GraphCache`
+— the self-loop edge arrays, GCN weights and CSR
+:class:`~repro.autograd.kernels.SegmentPlan` layouts of the request's
+graph. Building one costs several sorts over the edge list, so the
+serving path must not rebuild it per request; but unlike training
+(one long-lived graph), a server sees an open-ended stream of graphs
+(inductive requests carry their own), so the cache must also be
+bounded.
+
+:class:`PlanCache` generalizes the identity-keyed ``_PLAN_MEMO`` in
+:mod:`repro.autograd.kernels`: it is keyed by graph *content* (sha256
+of the edge index bytes + node/feature counts), so two
+deserialized-but-equal copies of a graph share one entry, and it
+holds whole ``GraphCache`` objects (every plan of the graph at once)
+behind the same :class:`~repro.autograd.kernels.LruMap` eviction the
+plan memo uses. Eviction policy: least-recently-*served* graph goes
+first; capacity defaults small because each entry pins O(E) arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.autograd.kernels import LruMap
+from repro.gnn.common import GraphCache
+from repro.graph.data import Graph
+
+__all__ = ["PlanCache", "graph_key"]
+
+
+def graph_key(graph: Graph) -> str:
+    """Content fingerprint of a graph's structure.
+
+    Two graphs with the same edges, node count and feature width share
+    a key (features *values* are deliberately excluded — the plans
+    only depend on structure, and requests re-submit the same graph
+    object with its features attached).
+    """
+    digest = hashlib.sha256()
+    digest.update(graph.edge_index.tobytes())
+    digest.update(f"|{graph.num_nodes}|{graph.num_features}".encode("ascii"))
+    return digest.hexdigest()
+
+
+class PlanCache:
+    """Bounded content-keyed cache of :class:`GraphCache` objects."""
+
+    def __init__(self, capacity: int = 8):
+        self._entries = LruMap(capacity=capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.capacity
+
+    def get(self, graph: Graph) -> GraphCache:
+        """The graph's plans, building (and possibly evicting) on miss."""
+        key = graph_key(graph)
+        cache = self._entries.get(key)
+        if cache is not None:
+            self.hits += 1
+            return cache
+        self.misses += 1
+        cache = GraphCache(graph)
+        self.evictions += len(self._entries.put(key, cache))
+        return cache
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,180 @@
+"""Synchronous-API, threaded-worker batching server.
+
+Callers submit requests from any thread; worker threads drain the
+queue in batches of up to ``max_batch`` and hand them to the
+:class:`~repro.serve.engine.InferenceEngine` as one coalesced
+``predict_batch``. The queue is the batching mechanism: requests that
+arrive while a batch is in flight pile up and are coalesced into the
+next one, so throughput rises with concurrency while each forward
+stays full-graph-sized.
+
+The API is synchronous (``submit`` blocks until the prediction is
+ready) with an async escape hatch (``submit_async`` returns a
+:class:`PendingRequest` whose ``result()`` blocks) — which is exactly
+what a closed-loop load generator needs to simulate N outstanding
+clients without N OS threads.
+
+Latency is measured enqueue→resolve on the tracer's clock
+(injectable, like every clock in ``repro.obs``), so tests can drive
+the timeline deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import get_tracer
+from repro.serve.engine import InferenceEngine, Request
+
+__all__ = ["PendingRequest", "ServeServer"]
+
+
+class PendingRequest:
+    """A submitted request; resolves to its prediction or an error."""
+
+    __slots__ = (
+        "request", "enqueued_at", "resolved_at", "_event", "_value", "_error",
+    )
+
+    def __init__(self, request: Request, enqueued_at: float):
+        self.request = request
+        self.enqueued_at = enqueued_at
+        self.resolved_at: float | None = None
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, value, at: float) -> None:
+        self._value = value
+        self.resolved_at = at
+        self._event.set()
+
+    def _fail(self, error: BaseException, at: float) -> None:
+        self._error = error
+        self.resolved_at = at
+        self._event.set()
+
+    @property
+    def latency(self) -> float | None:
+        """Enqueue→resolve seconds (``None`` while still pending)."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.enqueued_at
+
+    def result(self, timeout: float | None = None):
+        """Block until resolved; re-raises the engine's error, if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction not ready within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class ServeServer:
+    """Queue + worker threads around one inference engine."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch: int = 64,
+        workers: int = 1,
+        clock=None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.metrics = engine.metrics
+        self.max_batch = max_batch
+        self._clock = clock if clock is not None else get_tracer().clock
+        self._queue: list[PendingRequest] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = [None] * workers
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServeServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._stopping = False
+        for index in range(len(self._threads)):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-serve-{index}", daemon=True
+            )
+            self._threads[index] = thread
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, then stop the workers."""
+        if not self._started:
+            return
+        with self._not_empty:
+            self._stopping = True
+            self._not_empty.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._started = False
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_async(self, node_ids=None, graph=None) -> PendingRequest:
+        """Enqueue a request; returns a handle that resolves later."""
+        pending = PendingRequest(
+            Request(node_ids=node_ids, graph=graph), self._clock()
+        )
+        with self._not_empty:
+            if self._stopping or not self._started:
+                raise RuntimeError("server is not accepting requests")
+            self._queue.append(pending)
+            depth = len(self._queue)
+            self._not_empty.notify()
+        self.metrics.observe_requests()
+        self.metrics.observe_queue_depth(depth)
+        return pending
+
+    def submit(self, node_ids=None, graph=None, timeout: float | None = None):
+        """Synchronous predict: enqueue and block for the result."""
+        return self.submit_async(node_ids=node_ids, graph=graph).result(timeout)
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._queue and not self._stopping:
+                    self._not_empty.wait()
+                if not self._queue:
+                    return  # stopping and drained
+                batch = self._queue[: self.max_batch]
+                del self._queue[: len(batch)]
+                depth = len(self._queue)
+            self.metrics.observe_queue_depth(depth)
+            try:
+                results = self.engine.predict_batch(
+                    [pending.request for pending in batch]
+                )
+            except Exception as error:  # resolve, don't kill the worker
+                now = self._clock()
+                for pending in batch:
+                    pending._fail(error, now)
+                continue
+            now = self._clock()
+            for pending, value in zip(batch, results):
+                pending._resolve(value, now)
+                self.metrics.observe_latency(pending.latency)

@@ -29,13 +29,12 @@ class TestCheckSelf:
         assert check.exit_code == 0
 
     def test_baseline_covers_exactly_the_known_debt(self, check):
-        # One grandfathered finding: segment_attention_sum retains the
-        # edge-gathered x_src copy (see check_baseline.json). If this
-        # list shrinks, delete the baseline entry; if it grows, either
-        # declare a contract or consciously extend the baseline.
-        assert [(f.rule_id, f.symbol) for f in check.baselined] == [
-            ("undeclared-capture", "scatter.segment_attention_sum")
-        ]
+        # The baseline is empty: the last grandfathered finding
+        # (segment_attention_sum retaining the edge-gathered x_src copy)
+        # was paid off by recomputing the gather in the backward. If
+        # this list grows, either declare a contract or consciously
+        # extend the baseline — with a tracking note.
+        assert [(f.rule_id, f.symbol) for f in check.baselined] == []
 
     def test_capture_report_covers_the_tape_sites(self, check):
         symbols = {record["symbol"] for record in check.captures}

@@ -540,6 +540,90 @@ class TestUncheckedNanSource:
         assert [f.rule_id for f in result.suppressed] == ["unchecked-nan-source"]
 
 
+class TestTapeInInference:
+    SERVE_PATH = "src/repro/serve/engine.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_unguarded_forward_in_serve(self):
+        result = self.run_at(
+            """
+            def hot_path(model, graph, cache):
+                return model.forward(graph.features, cache).numpy()
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == ["tape-in-inference"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_flags_unguarded_encode_and_embed(self):
+        result = self.run_at(
+            """
+            def align(model):
+                z1, z2 = model.encode()
+                return model.embed()
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == ["tape-in-inference", "tape-in-inference"]
+
+    def test_codec_encode_is_not_the_model_api(self):
+        result = self.run_at(
+            """
+            def key(payload):
+                return payload.encode("utf-8")
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_backward_is_flagged_even_inside_no_grad(self):
+        result = self.run_at(
+            """
+            def bad(model, loss):
+                with no_grad():
+                    loss.backward()
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == ["tape-in-inference"]
+
+    def test_no_grad_block_is_clean(self):
+        result = self.run_at(
+            """
+            def hot_path(model, graph, cache):
+                with no_grad():
+                    logits = model.forward(graph.features, cache).numpy()
+                return logits
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_outside_serve_is_out_of_scope(self):
+        source = """
+            def train_step(model, batch):
+                loss = model.forward(batch).sum()
+                loss.backward()
+            """
+        assert rule_ids(self.run_at(source, "src/repro/train/trainer.py")) == []
+        assert rule_ids(self.run_at(source, "tests/serve/test_engine.py")) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            def debug_endpoint(model, x):
+                return model.forward(x)  # lint: disable=tape-in-inference -- grad probe
+            """,
+            self.SERVE_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["tape-in-inference"]
+
+
 class TestSuppression:
     def test_inline_disable_moves_finding_to_suppressed(self):
         result = run(

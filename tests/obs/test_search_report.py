@@ -128,6 +128,29 @@ class TestRenderDiff:
         assert "search:test (a)" in text
         assert "search:test (b)" in text
 
+    def test_memory_deltas_when_memory_stats_present(self, tiny_graph, tmp_path):
+        from repro.obs.session import ProfileSession
+
+        paths = []
+        for index, name in enumerate(("a.jsonl", "b.jsonl")):
+            path = tmp_path / name
+            with ProfileSession(
+                trace_path=path, label=f"run-{index}", events=True, memory=True
+            ):
+                SaneSearcher(SMALL_SPACE, tiny_graph, SHARP, seed=index).search()
+            paths.append(path)
+        text = render_diff(*paths)
+        assert "tape memory deltas (run-1 - run-0):" in text
+        assert "overall peak live:" in text
+        assert "Δret" in text and "Δpeak" in text
+
+    def test_no_memory_section_without_memory_stats(self, tiny_graph, tmp_path):
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        _record_search(path_a, seed=0, tiny_graph=tiny_graph)
+        _record_search(path_b, seed=1, tiny_graph=tiny_graph)
+        assert "tape memory deltas" not in render_diff(path_a, path_b)
+
     def test_hotspot_deltas_when_spans_interleaved(self, tiny_graph, tmp_path):
         paths = []
         for index, name in enumerate(("a.jsonl", "b.jsonl")):

@@ -1,0 +1,47 @@
+"""Serving fixtures: train once per session, reuse everywhere.
+
+Exporting an artifact trains a model, which is the expensive part of
+every serve test; the session-scoped fixtures amortise it across the
+whole package. Tests must not mutate the fixture artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import Architecture
+from repro.experiments.config import SCALES
+from repro.graph.data import Graph
+from repro.serve import export_alignment, export_architecture
+
+GENOTYPE = Architecture(
+    node_aggregators=("gat", "gcn"),
+    skip_connections=("identity", "identity"),
+    layer_aggregator="concat",
+)
+
+
+@pytest.fixture(scope="session")
+def node_artifact():
+    """A searched-like 2-layer genotype trained on smoke-scale cora."""
+    return export_architecture(GENOTYPE, "cora", SCALES["smoke"], seed=0)
+
+
+@pytest.fixture(scope="session")
+def kg_artifact():
+    """A smoke-scale entity-alignment encoder bundle."""
+    return export_alignment(SCALES["smoke"], seed=0)
+
+
+def make_ring_graph(num_nodes: int, num_features: int, seed: int, name: str) -> Graph:
+    """A tiny bidirected ring with random features — a 'foreign' graph."""
+    rng = np.random.default_rng(seed)
+    src = np.arange(num_nodes)
+    dst = (src + 1) % num_nodes
+    edges = np.vstack(
+        [np.concatenate([src, dst]), np.concatenate([dst, src])]
+    )
+    features = rng.normal(size=(num_nodes, num_features))
+    labels = np.zeros(num_nodes, dtype=np.int64)
+    return Graph(edge_index=edges, features=features, labels=labels, name=name)

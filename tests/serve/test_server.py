@@ -1,0 +1,70 @@
+"""Server behavior: sync/async submission, batching, failure isolation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, ServeServer
+
+
+@pytest.fixture(scope="module")
+def engine(node_artifact):
+    return InferenceEngine.from_artifact(node_artifact)
+
+
+class TestLifecycle:
+    def test_double_start_is_an_error(self, engine):
+        with ServeServer(engine) as server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+
+    def test_submit_before_start_is_rejected(self, engine):
+        server = ServeServer(engine)
+        with pytest.raises(RuntimeError, match="not accepting requests"):
+            server.submit_async(node_ids=np.array([0]))
+
+    def test_invalid_config_is_rejected(self, engine):
+        with pytest.raises(ValueError, match="max_batch"):
+            ServeServer(engine, max_batch=0)
+        with pytest.raises(ValueError, match="workers"):
+            ServeServer(engine, workers=0)
+
+    def test_stop_drains_pending_requests(self, engine):
+        server = ServeServer(engine, max_batch=4)
+        server.start()
+        pendings = [
+            server.submit_async(node_ids=np.array([i])) for i in range(8)
+        ]
+        server.stop()
+        for pending in pendings:
+            assert pending.result(timeout=5.0) is not None
+            assert pending.latency >= 0.0
+
+
+class TestSubmission:
+    def test_sync_submit_matches_engine(self, engine):
+        ids = np.array([0, 1, 2, 3])
+        with ServeServer(engine) as server:
+            served = server.submit(node_ids=ids, timeout=10.0)
+        assert np.array_equal(served, engine.predict(node_ids=ids))
+
+    def test_concurrent_batch_matches_singles(self, engine):
+        rng = np.random.default_rng(0)
+        id_sets = [
+            rng.integers(0, engine.num_targets, size=3) for __ in range(16)
+        ]
+        with ServeServer(engine, max_batch=8, workers=2) as server:
+            pendings = [
+                server.submit_async(node_ids=ids) for ids in id_sets
+            ]
+            results = [p.result(timeout=10.0) for p in pendings]
+        for ids, result in zip(id_sets, results):
+            assert np.array_equal(result, engine.predict(node_ids=ids))
+
+    def test_failed_request_does_not_kill_the_worker(self, engine):
+        bad = np.array([engine.num_targets + 10_000])
+        with ServeServer(engine) as server:
+            with pytest.raises(IndexError):
+                server.submit(node_ids=bad, timeout=10.0)
+            # The worker resolved the failure and kept going:
+            good = server.submit(node_ids=np.array([0]), timeout=10.0)
+        assert np.array_equal(good, engine.predict(node_ids=np.array([0])))

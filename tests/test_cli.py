@@ -131,6 +131,10 @@ class TestCommonOptionPlacement:
         (["report", "run"], ["events.jsonl"]),
         (["report", "diff"], ["a.jsonl", "b.jsonl"]),
         (["report", "bench"], []),
+        (["export", "search"], ["cora"]),
+        (["export", "baseline"], ["gcn", "cora"]),
+        (["export", "kg"], []),
+        (["serve"], ["artifact.json"]),
     ]
 
     @pytest.mark.parametrize("command,positionals", CASES,
