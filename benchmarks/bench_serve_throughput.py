@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.search_space import Architecture
 from repro.serve import (
     InferenceEngine,
+    ServeMetrics,
     ServeServer,
     bench_metrics,
     export_architecture,
@@ -50,9 +51,13 @@ def test_serve_throughput(benchmark, tmp_path):
 
     artifact = export_architecture(GENOTYPE, "cora", scale, seed=0)
     path = save_artifact(artifact, tmp_path / "artifact.json")
-    engine = InferenceEngine.from_artifact(load_artifact(path))
 
     with tracked_run("serve_throughput") as run:
+        # The engine shares the bench registry so the serve counters and
+        # per-stage p50/p99 gauges land in the gated payload.
+        engine = InferenceEngine.from_artifact(
+            load_artifact(path), metrics=ServeMetrics(registry=run.metrics)
+        )
         with ServeServer(engine, max_batch=64) as server:
             results = benchmark.pedantic(
                 lambda: run_load(
@@ -61,6 +66,7 @@ def test_serve_throughput(benchmark, tmp_path):
                 rounds=1,
                 iterations=1,
             )
+        engine.metrics.finalize(wall_s=sum(r.wall_s for r in results))
         bench_metrics(results, run.metrics)
         run.extra["levels"] = [
             {
@@ -69,10 +75,19 @@ def test_serve_throughput(benchmark, tmp_path):
                 "rps": r.rps,
                 "p50_s": r.p50_s,
                 "p99_s": r.p99_s,
+                "p99_trace": r.p99_trace,
             }
             for r in results
         ]
         run.extra["plan_cache"] = engine.plan_cache.stats()
+        run.extra["exemplars"] = dict(engine.metrics.exemplars)
+
+    # Tracing is always on: every request must have produced a complete
+    # stage set in the shared metrics (the span trees themselves are
+    # asserted in tests/serve/test_tracing.py).
+    for stage in ("enqueue", "queue_wait", "batch_assemble",
+                  "forward", "slice", "resolve"):
+        assert stage in engine.metrics.stages, f"missing stage {stage!r}"
     show("Serve throughput — concurrency sweep", render_load_report(results))
 
     # Structural shape (every scale).

@@ -55,9 +55,49 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     # 256 requests/level so p99 is the 3rd-largest sample instead of
     # the max; the looser time tolerance reflects that sub-millisecond
     # smoke latencies still jitter far more than long-running benches.
+    # The run also exercises the live-telemetry surfaces end to end:
+    # a request trace, an ephemeral /metrics scrape endpoint (port
+    # printed on stdout, server lingers until our scrape lands), and
+    # the offline `report serve` dashboard over the recorded trace.
     REPRO_SCALE=smoke REPRO_BENCH_DIR="$SERVE_DIR" \
-        python -m repro serve "$SERVE_DIR/artifact.json" --bench \
-        --bench-name serve_cli --requests 256
+        python -u -m repro serve "$SERVE_DIR/artifact.json" --bench \
+        --bench-name serve_cli --requests 256 \
+        --trace "$SERVE_DIR/serve-trace.jsonl" \
+        --export-port 0 --export-linger 60 \
+        > "$SERVE_DIR/serve-stdout.txt" &
+    SERVE_PID=$!
+    # Scrape only after the sweep is done ("bench:" printed): the
+    # per-stage gauges are published by finalize(), and --export-linger
+    # keeps the endpoint up until our scrape lands.
+    for _ in $(seq 1 300); do
+        grep -q '^bench:' "$SERVE_DIR/serve-stdout.txt" 2>/dev/null && break
+        kill -0 "$SERVE_PID" 2>/dev/null || break
+        sleep 1
+    done
+    EXPORT_URL="$(sed -n 's/^exporter:  //p' "$SERVE_DIR/serve-stdout.txt")"
+    [[ -n "$EXPORT_URL" ]] || { echo "serve --export-port printed no exporter URL" >&2; cat "$SERVE_DIR/serve-stdout.txt"; exit 1; }
+    echo "==> scraping $EXPORT_URL"
+    curl --silent --show-error --retry 10 --retry-delay 1 \
+        --retry-connrefused "$EXPORT_URL" > "$SERVE_DIR/exposition.txt"
+    wait "$SERVE_PID"
+    cat "$SERVE_DIR/serve-stdout.txt"
+    # The scrape must parse as text exposition and carry the per-stage
+    # gauges plus the SLO counters.
+    python - "$SERVE_DIR/exposition.txt" <<'PYEOF'
+import sys
+from repro.obs import parse_exposition
+samples = parse_exposition(open(sys.argv[1], encoding="utf-8").read())
+required = [
+    "serve_stage_queue_wait_p99_s", "serve_stage_forward_p99_s",
+    "serve_stage_resolve_p50_s", "serve_requests", "serve_errors",
+    "serve_deadline_exceeded",
+]
+missing = [name for name in required if name not in samples]
+assert not missing, f"scrape missing {missing}; got {sorted(samples)}"
+print(f"exposition ok: {len(samples)} samples")
+PYEOF
+    echo "==> repro report serve"
+    python -m repro report serve "$SERVE_DIR/serve-trace.jsonl" --top 3
     python -m repro report bench --baselines benchmarks/baselines/cli \
         --time-tolerance 1.5 "$SERVE_DIR/BENCH_serve_cli.json"
 

@@ -29,6 +29,7 @@ __all__ = [
     "UncheckedNanSourceRule",
     "MissingOpScopeRule",
     "TapeInInferenceRule",
+    "UntracedServePathRule",
     "CORE_RULES",
 ]
 
@@ -779,6 +780,85 @@ class TapeInInferenceRule(Rule):
         return len(rest) >= 2 and rest[1] == "serve"
 
 
+class UntracedServePathRule(Rule):
+    """``PendingRequest`` resolved or failed outside a request span.
+
+    Every request through ``repro.serve`` owns a span tree; the tree
+    is only complete if the terminal transition — ``._resolve()`` or
+    ``._fail()`` — happens inside that request's ``resolve`` stage
+    span. A resolution outside a ``with ...stage(...)`` block produces
+    an orphaned tail: the trace shows the request forever in flight,
+    per-stage percentiles silently drop the resolve cost, and the p99
+    exemplar can point at a tree with no end. Lexical scoping again:
+    the ``with <trace>.stage("resolve"):`` guard must be visible at
+    the call site. Intentional exceptions (e.g. a shutdown path that
+    fails requests without trace machinery) carry a
+    ``# lint: disable=untraced-serve-path`` justification.
+    """
+
+    rule_id = "untraced-serve-path"
+    severity = Severity.ERROR
+    description = (
+        "PendingRequest._resolve/._fail outside a `with ...stage(...)` "
+        "request-span block in repro.serve"
+    )
+    node_types = (ast.Call,)
+
+    _TERMINALS = frozenset({"_resolve", "_fail"})
+
+    def __init__(self) -> None:
+        # Same per-module cache shape as TapeInInferenceRule: ids of
+        # nodes lexically inside a `with <x>.stage(...):` body for the
+        # tree currently being walked.
+        self._cached_tree: ast.Module | None = None
+        self._cached_guarded: set[int] | None = None
+
+    def check(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        name = node.func.attr
+        if name not in self._TERMINALS:
+            return
+        if id(node) in self._guarded_nodes(ctx.tree):
+            return
+        yield self.finding(
+            node,
+            ctx,
+            f".{name}() outside a `with ...stage(...)` block leaves the "
+            "request's span tree without a resolve stage; wrap the call "
+            "site in the request's stage span (or justify with "
+            "# lint: disable=untraced-serve-path)",
+        )
+
+    def _guarded_nodes(self, tree: ast.Module) -> set[int]:
+        if tree is self._cached_tree:
+            return self._cached_guarded
+        guarded: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                if any(
+                    isinstance(item.context_expr, ast.Call)
+                    and _call_name(item.context_expr) == "stage"
+                    for item in node.items
+                ):
+                    for stmt in node.body:
+                        guarded.update(id(child) for child in ast.walk(stmt))
+        self._cached_tree = tree
+        self._cached_guarded = guarded
+        return guarded
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        """True for files inside the ``repro.serve`` package."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+        return len(rest) >= 2 and rest[1] == "serve"
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -794,4 +874,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     UncheckedNanSourceRule,
     MissingOpScopeRule,
     TapeInInferenceRule,
+    UntracedServePathRule,
 )

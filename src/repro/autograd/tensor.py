@@ -21,6 +21,7 @@ first-order DARTS approximation (``xi = 0`` in Eq. 8).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -35,7 +36,13 @@ __all__ = [
     "get_tape_hook",
 ]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving layer runs eval-mode forwards
+# inside `with no_grad():` on concurrent worker threads, and a shared
+# flag would let one worker's save/restore race another's (thread A
+# restores True, thread B then restores the False it observed at
+# entry — leaving recording disabled process-wide). Each thread gets
+# its own flag, defaulting to enabled.
+_GRAD_STATE = threading.local()
 
 # Observability hook installed while tape observers are active —
 # exactly one at a time; multiple observers (op profiler, numerics
@@ -63,14 +70,13 @@ def get_tape_hook():
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record the autograd tape."""
-    return _GRAD_ENABLED
+    """Return whether operations on this thread record the autograd tape."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def set_grad_enabled(enabled: bool) -> None:
-    """Globally enable or disable tape recording."""
-    global _GRAD_ENABLED
-    _GRAD_ENABLED = bool(enabled)
+    """Enable or disable tape recording on the calling thread."""
+    _GRAD_STATE.enabled = bool(enabled)
 
 
 @contextlib.contextmanager
@@ -79,14 +85,14 @@ def no_grad():
 
     Used by evaluation loops and by the detached parts of composite
     operations (e.g. the max-shift in a numerically stable softmax).
+    Per-thread: a serve worker's block never affects other threads.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -148,7 +154,9 @@ class Tensor:
         hook = _TAPE_HOOK
         if hook is not None:
             backward_fn = hook(data, parents, backward_fn)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(
+            p.requires_grad for p in parents
+        )
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

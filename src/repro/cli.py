@@ -59,7 +59,14 @@ from repro.experiments import (
     run_table10,
 )
 from repro.graph.datasets import ALL_DATASETS, load_dataset
-from repro.obs import InMemorySink, get_tracer
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsExporter,
+    MetricsSnapshotter,
+    get_tracer,
+    render_serve_report,
+)
 from repro.serve import (
     ArtifactError,
     InferenceEngine,
@@ -258,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
     report_memory.add_argument(
         "--top", type=int, default=10, help="rows per hotspot table"
     )
+    report_serve = views.add_parser(
+        "serve",
+        help="per-stage latency breakdown, queue timeline, and slowest-trace "
+        "drilldown from a serve trace",
+    )
+    report_serve.add_argument(
+        "trace", help="trace JSONL recorded with `repro serve --trace`"
+    )
+    report_serve.add_argument(
+        "--top", type=int, default=5, help="slowest traces to drill into"
+    )
     report_bench = views.add_parser(
         "bench", help="gate fresh BENCH_*.json files against committed baselines"
     )
@@ -290,9 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative degradation allowed for wall-clock metrics",
     )
     report_bench.add_argument(
+        "--abs-floor-ms",
+        type=float,
+        default=1.0,
+        help="noise floor for seconds-valued metrics: when baseline and "
+        "current are both below this many milliseconds, the delta never "
+        "gates (sub-millisecond tails are timer jitter at smoke scale)",
+    )
+    report_bench.add_argument(
         "--gate-spans",
         action="store_true",
         help="also gate per-phase span timings (noisy across machines)",
+    )
+    report_bench.add_argument(
+        "--gate-tails",
+        action="store_true",
+        help="also gate p95/p99 tail percentiles (max-like statistics: a "
+        "single co-tenant scheduler burst moves them several hundred "
+        "percent; without this flag their moves report as 'noisy')",
     )
 
     export = commands.add_parser(
@@ -371,10 +404,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench payload name: emits BENCH_<NAME>.json and gates "
         "against the baseline of the same name (default: serve_throughput)",
     )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record every request's span tree to this trace JSONL "
+        "(render with `repro report serve`)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request latency SLO in milliseconds (accounting only: "
+        "misses bump serve.deadline_exceeded, nothing is shed)",
+    )
+    serve.add_argument(
+        "--export-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus-style /metrics scrape endpoint on this "
+        "port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--export-snapshots",
+        default=None,
+        metavar="PATH",
+        help="flush periodic metrics-registry snapshots to this JSONL file",
+    )
+    serve.add_argument(
+        "--export-interval",
+        type=float,
+        default=0.5,
+        help="seconds between snapshot flushes (default: 0.5)",
+    )
+    serve.add_argument(
+        "--export-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="after the work finishes, keep the scrape endpoint alive "
+        "until one scrape lands or this many seconds pass (CI scrapes "
+        "a bench run this way)",
+    )
 
     _add_common_options(
         stats, search, baseline, table, figure, lint, check, profile,
-        report, report_run, report_diff, report_memory, report_bench,
+        report, report_run, report_diff, report_memory, report_serve,
+        report_bench,
         export, export_search_p, export_baseline_p, export_kg_p, serve,
     )
     return parser
@@ -542,6 +619,14 @@ def _run_report(args) -> int:
             return 2
         return 0
 
+    if args.view == "serve":
+        try:
+            print(render_serve_report(args.trace, top=args.top))
+        except (OSError, ValueError) as exc:
+            print(f"repro report serve: error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     return _run_report_bench(args)
 
 
@@ -603,6 +688,8 @@ def _run_report_bench(args) -> int:
             tolerance=args.tolerance,
             time_tolerance=args.time_tolerance,
             gate_spans=args.gate_spans,
+            abs_floor_s=args.abs_floor_ms / 1000.0,
+            gate_tails=args.gate_tails,
         )
         print(render_bench_diff(name, deltas, notes=notes))
         print()
@@ -666,6 +753,56 @@ def _run_serve(args, scale) -> int:
     if artifact.genotype is not None:
         print(f"genotype:  {artifact.architecture() or artifact.genotype}")
 
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms else None
+    trace_sink = None
+    if args.trace:
+        trace_sink = JsonlSink(
+            args.trace, meta={"label": f"serve:{Path(args.artifact).name}"}
+        )
+    exporter = None
+    if args.export_port is not None:
+        # The provider closure reads live registry state on every
+        # scrape; exemplars appear once finalize() has run.
+        exporter = MetricsExporter(
+            lambda: (engine.metrics.registry.snapshot(),
+                     engine.metrics.exemplars),
+            port=args.export_port,
+        ).start()
+        print(f"exporter:  {exporter.url}")
+    snapshotter = None
+    if args.export_snapshots:
+        snapshotter = MetricsSnapshotter(
+            engine.metrics.registry,
+            args.export_snapshots,
+            interval_s=args.export_interval,
+            clock=get_tracer().clock,
+        ).start()
+
+    try:
+        return _serve_work(args, engine, artifact, deadline_s, trace_sink)
+    finally:
+        if snapshotter is not None:
+            snapshotter.stop()
+            snapshotter.close()
+            print(f"snapshots: {args.export_snapshots} "
+                  f"({snapshotter.flushes} flushes)")
+        if exporter is not None:
+            if args.export_linger > 0:
+                exporter.wait_for_scrape(args.export_linger)
+            exporter.stop()
+        if trace_sink is not None:
+            # The final registry snapshot rides in the trace so
+            # `report serve` can render the SLO section.
+            trace_sink.write_metrics(engine.metrics.registry)
+            trace_sink.close()
+            print(f"trace:     {args.trace} "
+                  f"(render with `repro report serve`)")
+
+
+def _serve_work(args, engine, artifact, deadline_s, trace_sink) -> int:
+    """The bench sweep or the one-shot demo, under attached sinks."""
+    extra_sinks = (trace_sink,) if trace_sink is not None else ()
+
     if args.bench:
         levels = tuple(args.levels) if args.levels else sweep_levels(args.scale)
         budget = args.requests or _SERVE_BENCH_REQUESTS[args.scale]
@@ -674,12 +811,14 @@ def _run_serve(args, scale) -> int:
         # so the CLI payload carries every metric family the committed
         # baseline has (a family missing from a fresh run gates).
         counters = kernels.KernelCounters(clock=get_tracer().clock)
-        with get_tracer().collect(sink), kernels.count_kernels(counters):
+        with get_tracer().collect(sink, *extra_sinks), \
+                kernels.count_kernels(counters):
             with ServeServer(
                 engine, max_batch=args.max_batch, workers=args.workers
             ) as server:
                 results = run_load(
-                    server, levels, requests_per_level=budget, seed=args.seed
+                    server, levels, requests_per_level=budget,
+                    seed=args.seed, deadline_s=deadline_s,
                 )
         registry = engine.metrics.registry
         for kernel, stats in counters.snapshot().items():
@@ -701,6 +840,7 @@ def _run_serve(args, scale) -> int:
                 "plan_cache": engine.plan_cache.stats(),
                 "max_batch": args.max_batch,
                 "workers": args.workers,
+                "exemplars": dict(engine.metrics.exemplars),
             },
         )
         print()
@@ -709,18 +849,19 @@ def _run_serve(args, scale) -> int:
         print(f"bench:     {bench_path}")
         return 0
 
-    with ServeServer(
-        engine, max_batch=args.max_batch, workers=args.workers
-    ) as server:
-        rng = np.random.default_rng(args.seed)
-        ids = np.sort(
-            rng.choice(
-                engine.num_targets,
-                size=min(8, engine.num_targets),
-                replace=False,
+    with get_tracer().collect(*extra_sinks):
+        with ServeServer(
+            engine, max_batch=args.max_batch, workers=args.workers
+        ) as server:
+            rng = np.random.default_rng(args.seed)
+            ids = np.sort(
+                rng.choice(
+                    engine.num_targets,
+                    size=min(8, engine.num_targets),
+                    replace=False,
+                )
             )
-        )
-        predictions = server.submit(node_ids=ids)
+            predictions = server.submit(node_ids=ids, deadline_s=deadline_s)
     summary = engine.metrics.finalize()
     print(f"targets:   {ids.tolist()}")
     if artifact.task == "kg_alignment":
@@ -735,6 +876,10 @@ def _run_serve(args, scale) -> int:
             f"p99 {summary['p99_s'] * 1e3:.2f} ms "
             f"({summary['requests']} request(s))"
         )
+    slo = summary.get("slo", {})
+    if slo.get("deadline_exceeded"):
+        print(f"deadline:  {int(slo['deadline_exceeded'])} request(s) "
+              f"exceeded {args.deadline_ms:.1f} ms")
     return 0
 
 

@@ -17,8 +17,14 @@ the search-dynamics reports lean on. It has six parts —
   structured event log (alpha snapshots, entropies, genotype flips,
   loss/score curves) the searchers and trainers emit into; a no-op
   unless an :class:`EventRecorder` is installed;
-* :mod:`repro.obs.search_report` + :mod:`repro.obs.bench_gate` — the
-  ``repro report run``/``diff``/``bench`` renderers;
+* :mod:`repro.obs.search_report` + :mod:`repro.obs.bench_gate` +
+  :mod:`repro.obs.serve_report` — the ``repro report
+  run``/``diff``/``bench``/``serve`` renderers;
+* :mod:`repro.obs.context` + :mod:`repro.obs.exporter` — request-scoped
+  trace context (explicit parent handoff across the serve queue's
+  thread boundary) and the live telemetry surfaces: periodic
+  :class:`MetricsSnapshotter` JSONL flushes and the Prometheus-style
+  :class:`MetricsExporter` scrape endpoint;
 * :mod:`repro.obs.tape` + :mod:`repro.obs.health` +
   :mod:`repro.obs.memory` — the composable tape-hook chain and the PR-5
   health layer on top of it: NaN/Inf/overflow detection with full op
@@ -42,6 +48,23 @@ and :func:`record_events` captures telemetry::
 """
 
 from repro.obs.autograd import AutogradProfiler, OpStats, profile_autograd
+from repro.obs.context import (
+    REQUEST_SPAN,
+    REQUEST_STAGES,
+    RequestTrace,
+    RequestTracer,
+    TraceContext,
+    context_span,
+    mirror_span,
+)
+from repro.obs.exporter import (
+    SNAPSHOT_VERSION,
+    MetricsExporter,
+    MetricsSnapshotter,
+    parse_exposition,
+    read_snapshots,
+    render_exposition,
+)
 from repro.obs.events import (
     EVENTS_VERSION,
     EventRecorder,
@@ -64,6 +87,7 @@ from repro.obs.tape import active_tape_hooks, add_tape_hook, remove_tape_hook
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import SpanAggregate, aggregate_spans, format_table, hotspot_report
 from repro.obs.search_report import render_diff, render_run
+from repro.obs.serve_report import load_request_trees, render_serve_report
 from repro.obs.search_telemetry import SearchTelemetry
 from repro.obs.session import ProfileSession
 from repro.obs.sinks import TRACE_VERSION, InMemorySink, JsonlSink, read_trace
@@ -108,4 +132,19 @@ __all__ = [
     "add_tape_hook",
     "remove_tape_hook",
     "active_tape_hooks",
+    "TraceContext",
+    "RequestTrace",
+    "RequestTracer",
+    "context_span",
+    "mirror_span",
+    "REQUEST_SPAN",
+    "REQUEST_STAGES",
+    "SNAPSHOT_VERSION",
+    "MetricsSnapshotter",
+    "read_snapshots",
+    "render_exposition",
+    "parse_exposition",
+    "MetricsExporter",
+    "load_request_trees",
+    "render_serve_report",
 ]

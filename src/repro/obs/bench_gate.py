@@ -13,6 +13,24 @@ Wall-clock metrics are machine-dependent, so they get their own
 higher-is-better but derived from wall-clock and exactly as noisy —
 and span timings are only gated when explicitly asked for
 (``--gate-spans``).
+
+Relative tolerance alone is not enough for seconds-valued metrics:
+a p99 of 30 µs doubling to 60 µs is +100% yet indistinguishable from
+scheduler/timer noise, while the same +100% on a 2 s search time is a
+real regression. ``abs_floor_s`` forgives deltas where *both* sides of
+a seconds metric sit below the floor — the change is below the
+measurement noise floor, so neither ``regression`` nor ``improved``
+is a defensible verdict there. A metric that climbs from under the
+floor to above it still gates normally.
+
+Tail percentiles (``p95``/``p99`` tokens) get the same treatment as
+spans: reported, but gating only on request (``--gate-tails``). A p99
+over a few hundred samples is a max-like statistic — one scheduler
+burst from a co-tenant process moves it several hundred percent while
+every median and throughput number stays put — so out-of-tolerance
+tail moves are labelled ``noisy`` rather than ``regression`` unless
+tails were explicitly opted into the gate. Medians, throughput, and
+deterministic byte counters carry the hard gate.
 """
 
 from __future__ import annotations
@@ -28,6 +46,8 @@ __all__ = [
     "MetricDelta",
     "metric_direction",
     "is_wall_clock",
+    "is_seconds",
+    "is_tail_percentile",
     "load_bench",
     "scalar_metrics",
     "compare_bench",
@@ -36,7 +56,11 @@ __all__ = [
 
 _TOKEN_RE = re.compile(r"[._\-/\s]+")
 _LOWER_BETTER = frozenset(
-    {"time", "loss", "seconds", "latency", "duration", "bytes", "memory"}
+    {"time", "loss", "seconds", "latency", "duration", "bytes", "memory",
+     # Percentile tokens: the serve stage gauges (serve.stage.<name>.p50_s)
+     # name no other lower-is-better token, and a pNN of anything we
+     # record is a duration.
+     "p50", "p95", "p99"}
 )
 _HIGHER_BETTER = frozenset(
     {"score", "scores", "speedup", "accuracy", "acc", "f1", "auc", "hits",
@@ -64,6 +88,29 @@ def is_wall_clock(name: str) -> bool:
     """True when a metric measures (or is a ratio of) wall-clock time."""
     tokens = set(_TOKEN_RE.split(name.lower()))
     return bool(tokens & (_LOWER_BETTER | _WALL_CLOCK_RATIO))
+
+
+# Every duration this repo emits carries a unit suffix that tokenises
+# to "s" (``latency_s``, ``p99_s``, ``search_time_s.cora``) — bytes
+# and ratio metrics never do, so the absolute floor cannot touch them.
+_SECONDS_TOKENS = frozenset({"s", "seconds"})
+
+# Upper-tail percentiles: max-like statistics whose run-to-run spread
+# dwarfs any workable relative tolerance. p50 is deliberately absent —
+# medians are burst-robust and stay hard-gated.
+_TAIL_TOKENS = frozenset({"p95", "p99"})
+
+
+def is_seconds(name: str) -> bool:
+    """True when a metric's value is a duration in seconds."""
+    tokens = set(_TOKEN_RE.split(name.lower()))
+    return bool(tokens & _SECONDS_TOKENS)
+
+
+def is_tail_percentile(name: str) -> bool:
+    """True when a metric is an upper-tail percentile (p95/p99)."""
+    tokens = set(_TOKEN_RE.split(name.lower()))
+    return bool(tokens & _TAIL_TOKENS)
 
 
 def load_bench(path: str | Path) -> dict:
@@ -109,7 +156,7 @@ class MetricDelta:
     current: float | None
     direction: int
     rel_change: float | None
-    status: str  # ok | regression | improved | info | missing | new
+    status: str  # ok | regression | improved | noisy | info | missing | new
 
     @property
     def gates(self) -> bool:
@@ -122,6 +169,7 @@ def _classify(
     current: float | None,
     direction: int,
     tolerance: float,
+    abs_floor: float = 0.0,
 ) -> MetricDelta:
     if baseline is None:
         return MetricDelta(name, None, current, direction, None, "new")
@@ -133,6 +181,10 @@ def _classify(
         rel = 0.0 if current == baseline else float("inf")
     if direction == 0:
         status = "info"
+    elif max(abs(baseline), abs(current)) < abs_floor:
+        # Both sides sit below the measurement noise floor: the
+        # relative change is dominated by timer jitter, not the code.
+        status = "ok"
     elif rel * direction < 0 and abs(rel) > tolerance:
         status = "regression"
     elif rel * direction > 0 and abs(rel) > tolerance:
@@ -148,20 +200,36 @@ def compare_bench(
     tolerance: float = 0.1,
     time_tolerance: float = 0.5,
     gate_spans: bool = False,
+    abs_floor_s: float = 0.0,
+    gate_tails: bool = False,
 ) -> list[MetricDelta]:
-    """Per-metric deltas of one bench against its baseline."""
+    """Per-metric deltas of one bench against its baseline.
+
+    ``abs_floor_s`` applies only to seconds-valued metrics (see
+    :func:`is_seconds`): when both sides of such a metric are below
+    the floor, the delta is reported ``ok`` regardless of its
+    relative size. Unless ``gate_tails`` is set, out-of-tolerance
+    moves of p95/p99 metrics are labelled ``noisy`` and never gate
+    (a vanished tail metric still reports ``missing`` and gates).
+    """
     base_metrics = scalar_metrics(baseline)
     cur_metrics = scalar_metrics(current)
     deltas: list[MetricDelta] = []
     for name in sorted(set(base_metrics) | set(cur_metrics)):
         direction = metric_direction(name)
         tol = time_tolerance if is_wall_clock(name) else tolerance
-        deltas.append(
-            _classify(
-                name, base_metrics.get(name), cur_metrics.get(name),
-                direction, tol,
-            )
+        delta = _classify(
+            name, base_metrics.get(name), cur_metrics.get(name),
+            direction, tol,
+            abs_floor=abs_floor_s if is_seconds(name) else 0.0,
         )
+        if (
+            not gate_tails
+            and delta.status in ("regression", "improved")
+            and is_tail_percentile(name)
+        ):
+            delta = dataclasses.replace(delta, status="noisy")
+        deltas.append(delta)
     if gate_spans:
         base_spans = span_totals(baseline)
         cur_spans = span_totals(current)
@@ -169,7 +237,7 @@ def compare_bench(
             deltas.append(
                 _classify(
                     f"span:{path}", base_spans[path], cur_spans[path],
-                    -1, time_tolerance,
+                    -1, time_tolerance, abs_floor=abs_floor_s,
                 )
             )
     return deltas

@@ -55,6 +55,8 @@ class SearchRun:
     epochs: dict[int, dict] = dataclasses.field(default_factory=dict)
     entropy: dict[str, list[float]] = dataclasses.field(default_factory=dict)
     flips: list[dict] = dataclasses.field(default_factory=list)
+    grad_health: dict[int, dict] = dataclasses.field(default_factory=dict)
+    dead_ops: list[dict] = dataclasses.field(default_factory=list)
     initial_genotype: dict | None = None
     last_genotype: dict | None = None
     final_architecture: dict | None = None
@@ -144,6 +146,10 @@ def split_searches(event_records: list[dict]) -> list[SearchRun]:
             for flip in data.get("flips", []):
                 current.flips.append({"epoch": epoch, **flip})
             current.last_genotype = data.get("genotype", current.last_genotype)
+        elif name == "grad_health" and epoch is not None:
+            current.grad_health[epoch] = data
+        elif name == "dead_op":
+            current.dead_ops.append({"epoch": epoch, **data})
         elif name == "search_end":
             current.final_architecture = data.get("architecture")
             current.end_t = record.get("t")
@@ -207,6 +213,76 @@ def _render_search_section(run: SearchRun, index: int) -> list[str]:
                  "|g_alpha|", "|g_w|"],
                 curve_rows,
             )
+        )
+
+    # PR-5 tape-health streams: only rendered when the run was recorded
+    # with a HealthMonitor installed, so plain event logs keep their
+    # byte-identical dashboards.
+    grad_lines = _grad_health_lines(run)
+    if grad_lines:
+        lines.append("")
+        lines.extend(grad_lines)
+    return lines
+
+
+def _grad_health_lines(run: SearchRun, max_rows: int = 12) -> list[str]:
+    """Gradient-health section: ratio trend table + dead-op sightings."""
+    lines: list[str] = []
+    if run.grad_health:
+        epochs = sorted(run.grad_health)
+        ratios = [
+            float(run.grad_health[epoch].get("grad_ratio") or 0.0)
+            for epoch in epochs
+        ]
+        lines.append(
+            f"gradient health (|g_alpha|/|g_w| trend {_sparkline(ratios)}):"
+        )
+        if len(epochs) > max_rows:
+            head = epochs[: max_rows // 2]
+            shown: list[int | None] = [
+                *head, None, *epochs[-(max_rows - len(head)):]
+            ]
+        else:
+            shown = list(epochs)
+        rows: list[list[str]] = []
+        for epoch in shown:
+            if epoch is None:
+                rows.append(["...", "", "", "", "", ""])
+                continue
+            payload = run.grad_health[epoch]
+            rows.append(
+                [
+                    str(epoch),
+                    _num(payload.get("arch_grad_norm")),
+                    _num(payload.get("weight_grad_norm")),
+                    _num(payload.get("grad_ratio")),
+                    _num(payload.get("arch_update_scale"), 6),
+                    _num(payload.get("weight_update_scale"), 6),
+                ]
+            )
+        lines.extend(
+            format_table(
+                ["epoch", "|g_alpha|", "|g_w|", "ratio",
+                 "alpha_step", "w_step"],
+                rows,
+            )
+        )
+    if run.dead_ops:
+        if lines:
+            lines.append("")
+        lines.append(f"dead-op sightings: {len(run.dead_ops)}")
+        rows = [
+            [
+                f"epoch {sighting.get('epoch', '?')}",
+                str(sighting.get("edge", "?")),
+                str(sighting.get("layer", "?")),
+                str(sighting.get("op", "?")),
+                _num(sighting.get("weight"), 6),
+            ]
+            for sighting in run.dead_ops
+        ]
+        lines.extend(
+            format_table(["when", "edge", "layer", "op", "weight"], rows)
         )
     return lines
 

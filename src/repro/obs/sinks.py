@@ -23,6 +23,7 @@ Trace schema (one object per line, discriminated by ``type``):
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
@@ -59,6 +60,9 @@ class JsonlSink:
     def __init__(self, path: str | Path, meta: dict | None = None):
         self.path = Path(path)
         self._file = self.path.open("w", encoding="utf-8")
+        # Serving worker threads record request spans concurrently;
+        # the lock keeps every JSONL line complete and un-interleaved.
+        self._lock = threading.Lock()
         header = {"type": "trace-meta", "version": TRACE_VERSION}
         if meta:
             header.update(meta)
@@ -66,7 +70,9 @@ class JsonlSink:
 
     def write_record(self, record: dict) -> None:
         """Append one arbitrary trace record (used by the event log)."""
-        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._file.write(line)
 
     def record(self, span: Span) -> None:
         self.write_record(span.to_dict())

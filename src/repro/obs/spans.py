@@ -26,6 +26,7 @@ spans.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Callable, Iterator
 
@@ -54,6 +55,7 @@ class Span:
         "span_id",
         "parent_id",
         "depth",
+        "explicit",
         "t_start",
         "t_end",
         "_tracer",
@@ -66,6 +68,7 @@ class Span:
         self.span_id: int = -1  # assigned when the span starts
         self.parent_id: int | None = None
         self.depth: int = 0
+        self.explicit: bool = False  # started outside the stack
         self.t_start: float = 0.0
         self.t_end: float | None = None
         self._tracer = tracer
@@ -86,15 +89,33 @@ class Span:
         self.t_start = self._tracer.clock()
         return self
 
+    def start_explicit(self, parent_id: int | None = None, depth: int = 0) -> "Span":
+        """Start with an explicit parent, outside the tracer's stack.
+
+        Explicit spans are how request tracing crosses thread
+        boundaries (:mod:`repro.obs.context`): the parent is named by
+        id, not inferred from the calling thread's lexical nesting, so
+        concurrent requests build disjoint trees instead of
+        interleaving on the shared stack. An explicit span may be
+        started on one thread and finished on another; it never
+        parents stack spans and the stack never parents it.
+        """
+        self._tracer._begin_explicit(self, parent_id=parent_id, depth=depth)
+        return self
+
     def finish(self) -> "Span":
         if self.t_end is None:
             if self.span_id < 0:  # detached: just stop the clock
                 self.t_end = self._tracer.clock()
+            elif self.explicit:  # not on the stack: close and dispatch
+                self._tracer._end_explicit(self)
             else:
                 self._tracer._end(self)
         return self
 
     def __enter__(self) -> "Span":
+        if self.explicit or self.span_id >= 0:
+            return self  # already started (explicit spans reused as CMs)
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -148,15 +169,23 @@ class Tracer:
         self._sinks: list = []
         self._stack: list[Span] = []
         self._next_id = 0
+        # Span ids are allocated from worker threads too (explicit
+        # request spans), so the counter bump must be atomic.
+        self._id_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def span(self, name: str, kind: str = "span", **attrs) -> Span:
         """Create a span (not yet started); usually used as ``with``."""
         return Span(self, name, kind, attrs)
 
+    def _allocate_id(self) -> int:
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
     def _begin(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
+        span.span_id = self._allocate_id()
         if self._stack:
             parent = self._stack[-1]
             span.parent_id = parent.span_id
@@ -178,6 +207,19 @@ class Tracer:
             if top.t_end is None:
                 top.t_end = span.t_end
                 self._dispatch(top)
+        self._dispatch(span)
+
+    def _begin_explicit(
+        self, span: Span, parent_id: int | None = None, depth: int = 0
+    ) -> None:
+        span.explicit = True
+        span.span_id = self._allocate_id()
+        span.parent_id = parent_id
+        span.depth = depth
+        span.t_start = self.clock()
+
+    def _end_explicit(self, span: Span) -> None:
+        span.t_end = self.clock()
         self._dispatch(span)
 
     def _dispatch(self, span: Span) -> None:

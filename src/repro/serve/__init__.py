@@ -48,7 +48,7 @@ from repro.serve.loadgen import (
     run_load,
     sweep_levels,
 )
-from repro.serve.metrics import ServeMetrics, nearest_rank_percentile
+from repro.serve.metrics import Reservoir, ServeMetrics, nearest_rank_percentile
 from repro.serve.plans import PlanCache
 from repro.serve.server import PendingRequest, ServeServer
 
@@ -65,6 +65,7 @@ __all__ = [
     "InferenceEngine",
     "Request",
     "PlanCache",
+    "Reservoir",
     "ServeMetrics",
     "nearest_rank_percentile",
     "ServeServer",

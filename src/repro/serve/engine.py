@@ -29,6 +29,7 @@ import numpy as np
 from repro import obs
 from repro.autograd import no_grad
 from repro.graph.data import Graph, MultiGraphDataset
+from repro.obs.context import TraceContext, context_span, mirror_span
 from repro.serve.artifact import ModelArtifact
 from repro.serve.metrics import ServeMetrics
 from repro.serve.plans import PlanCache
@@ -43,11 +44,17 @@ class Request:
     ``node_ids`` — target rows (``None`` = every node/entity);
     ``graph`` — an explicit graph for inductive requests (``None`` =
     the artifact's default graph; must be ``None`` for alignment,
-    whose encoder is bound to its KG pair).
+    whose encoder is bound to its KG pair);
+    ``ctx`` — the request's trace context, set by ``ServeServer``; the
+    engine attaches its ``forward``/``slice`` stage spans to it
+    (``None`` — direct ``predict()`` calls — records no stages);
+    ``deadline_s`` — latency SLO for this request (accounting only).
     """
 
     node_ids: np.ndarray | None = None
     graph: Graph | None = None
+    ctx: TraceContext | None = None
+    deadline_s: float | None = None
 
 
 class InferenceEngine:
@@ -146,16 +153,53 @@ class InferenceEngine:
             with obs.span(
                 "serve.forward", kind="serve",
                 graph=graph.name, requests=len(indices),
-            ):
+            ) as forward_span:
                 with no_grad():
                     logits = self.model.forward(graph.features, cache).numpy()
             for index in indices:
-                ids = requests[index].node_ids
+                request = requests[index]
+                self._mirror_forward(
+                    request, forward_span, graph.name, len(indices)
+                )
+                slice_span = self._start_slice(request)
+                ids = request.node_ids
                 if ids is None:
                     results[index] = logits
                 else:
                     results[index] = np.take(logits, ids, axis=0)
+                self._finish_slice(request, slice_span)
         return results
+
+    # ------------------------------------------------------------------
+    # per-request stage spans (no-ops when the request has no context,
+    # i.e. direct predict() calls outside a ServeServer)
+    # ------------------------------------------------------------------
+    def _mirror_forward(self, request, forward_span, graph_name, shared):
+        """One coalesced forward serves ``shared`` trees: mirror its
+        window into each request's trace as that tree's forward stage."""
+        if request.ctx is None:
+            return
+        mirrored = mirror_span(
+            "forward", request.ctx,
+            forward_span.t_start, forward_span.t_end,
+            graph=graph_name, shared=shared,
+        )
+        self.metrics.observe_stage(
+            "forward", mirrored.duration, request.ctx.trace_id
+        )
+
+    def _start_slice(self, request):
+        if request.ctx is None:
+            return None
+        return context_span("slice", request.ctx)
+
+    def _finish_slice(self, request, slice_span) -> None:
+        if slice_span is None:
+            return
+        slice_span.finish()
+        self.metrics.observe_stage(
+            "slice", slice_span.duration, request.ctx.trace_id
+        )
 
     def _run_alignment_batch(self, requests: list[Request]) -> list[np.ndarray]:
         for request in requests:
@@ -167,12 +211,16 @@ class InferenceEngine:
         with obs.span(
             "serve.forward", kind="serve", graph="kg-pair",
             requests=len(requests),
-        ):
+        ) as forward_span:
             with no_grad():
                 z1_t, z2_t = self.model.encode()
             z1, z2 = z1_t.numpy(), z2_t.numpy()
         results = []
         for request in requests:
+            self._mirror_forward(
+                request, forward_span, "kg-pair", len(requests)
+            )
+            slice_span = self._start_slice(request)
             anchors = z1 if request.node_ids is None else np.take(
                 z1, request.node_ids, axis=0
             )
@@ -180,4 +228,5 @@ class InferenceEngine:
             # score matrix the Hits@k metrics rank.
             scores = -np.abs(anchors[:, None, :] - z2[None, :, :]).sum(axis=-1)
             results.append(scores)
+            self._finish_slice(request, slice_span)
         return results

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 from pathlib import Path
 
@@ -62,7 +63,12 @@ def sweep_levels(scale_name: str) -> tuple[int, ...]:
 
 @dataclasses.dataclass
 class LevelResult:
-    """Throughput/latency summary of one concurrency level."""
+    """Throughput/latency summary of one concurrency level.
+
+    ``p99_trace`` is the exemplar: the trace id of the request whose
+    latency *is* the level's p99, so the tail number links to a
+    concrete span tree in the trace file.
+    """
 
     concurrency: int
     requests: int
@@ -70,6 +76,16 @@ class LevelResult:
     rps: float
     p50_s: float
     p99_s: float
+    p99_trace: str | None = None
+
+
+def _percentile_with_trace(
+    pairs: list[tuple[float, str | None]], q: float
+) -> tuple[float, str | None]:
+    """Nearest-rank percentile over (latency, trace id) pairs."""
+    ordered = sorted(pairs, key=lambda pair: pair[0])
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 def run_load(
@@ -78,13 +94,14 @@ def run_load(
     requests_per_level: int,
     seed: int = 0,
     ids_per_request: int = 4,
+    deadline_s: float | None = None,
 ) -> list[LevelResult]:
     """Closed-loop sweep over ``levels``; the server must be started."""
     num_targets = server.engine.num_targets
     rng = np.random.default_rng(seed)
     results: list[LevelResult] = []
     for level in levels:
-        latencies: list[float] = []
+        samples: list[tuple[float, str | None]] = []
         span = obs.span(
             "serve.loadgen.level", kind="serve", concurrency=level
         ).start()
@@ -93,24 +110,29 @@ def run_load(
             wave = min(level, requests_per_level - done)
             pendings = [
                 server.submit_async(
-                    node_ids=rng.integers(0, num_targets, size=ids_per_request)
+                    node_ids=rng.integers(0, num_targets, size=ids_per_request),
+                    deadline_s=deadline_s,
                 )
                 for __ in range(wave)
             ]
             for pending in pendings:
                 pending.result()
-                latencies.append(pending.latency)
+                samples.append((pending.latency, pending.trace_id))
             done += wave
         span.finish()
         wall = span.duration
+        p99, p99_trace = _percentile_with_trace(samples, 99.0)
         results.append(
             LevelResult(
                 concurrency=level,
                 requests=done,
                 wall_s=wall,
                 rps=done / wall if wall > 0 else float("inf"),
-                p50_s=nearest_rank_percentile(latencies, 50.0),
-                p99_s=nearest_rank_percentile(latencies, 99.0),
+                p50_s=nearest_rank_percentile(
+                    [latency for latency, _ in samples], 50.0
+                ),
+                p99_s=p99,
+                p99_trace=p99_trace,
             )
         )
     return results
@@ -126,11 +148,14 @@ def render_load_report(results: list[LevelResult]) -> str:
             f"{result.rps:.1f}",
             f"{result.p50_s * 1e3:.2f}",
             f"{result.p99_s * 1e3:.2f}",
+            result.p99_trace or "-",
         ]
         for result in results
     ]
     lines = format_table(
-        ["clients", "requests", "wall_s", "req/s", "p50_ms", "p99_ms"], rows
+        ["clients", "requests", "wall_s", "req/s", "p50_ms", "p99_ms",
+         "p99_trace"],
+        rows,
     )
     return "\n".join(lines)
 

@@ -14,9 +14,21 @@ ready) with an async escape hatch (``submit_async`` returns a
 what a closed-loop load generator needs to simulate N outstanding
 clients without N OS threads.
 
+Every request carries a :class:`~repro.obs.context.RequestTrace`:
+the root ``serve.request`` span opens at submission, stage spans
+(``enqueue``, ``queue_wait``, ``batch_assemble``, ``resolve`` here;
+``forward``/``slice`` in the engine) attach to it by explicit parent
+id, and the tree closes when the request resolves — so N concurrent
+requests produce N disjoint span trees regardless of which worker
+thread finishes them. Tracing is always on: spans cost two clock reads
+each, draw nothing from any RNG, and are discarded unless a sink is
+attached, so traced serving output is bit-identical to untraced.
+
 Latency is measured enqueue→resolve on the tracer's clock
 (injectable, like every clock in ``repro.obs``), so tests can drive
-the timeline deterministically.
+the timeline deterministically. A request may carry a ``deadline_s``;
+deadlines are *accounting-only* (the SLO counters record misses, no
+request is shed), which keeps result identity independent of timing.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ from __future__ import annotations
 import threading
 
 from repro.obs import get_tracer
+from repro.obs.context import RequestTrace, RequestTracer
 from repro.serve.engine import InferenceEngine, Request
 
 __all__ = ["PendingRequest", "ServeServer"]
@@ -33,13 +46,21 @@ class PendingRequest:
     """A submitted request; resolves to its prediction or an error."""
 
     __slots__ = (
-        "request", "enqueued_at", "resolved_at", "_event", "_value", "_error",
+        "request", "enqueued_at", "resolved_at", "trace",
+        "_queue_wait", "_event", "_value", "_error",
     )
 
-    def __init__(self, request: Request, enqueued_at: float):
+    def __init__(
+        self,
+        request: Request,
+        enqueued_at: float,
+        trace: RequestTrace | None = None,
+    ):
         self.request = request
         self.enqueued_at = enqueued_at
         self.resolved_at: float | None = None
+        self.trace = trace
+        self._queue_wait = None  # open queue_wait span, finished by a worker
         self._event = threading.Event()
         self._value = None
         self._error: BaseException | None = None
@@ -53,6 +74,10 @@ class PendingRequest:
         self._error = error
         self.resolved_at = at
         self._event.set()
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace.trace_id if self.trace is not None else None
 
     @property
     def latency(self) -> float | None:
@@ -79,6 +104,7 @@ class ServeServer:
         max_batch: int = 64,
         workers: int = 1,
         clock=None,
+        request_tracer: RequestTracer | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -88,6 +114,9 @@ class ServeServer:
         self.metrics = engine.metrics
         self.max_batch = max_batch
         self._clock = clock if clock is not None else get_tracer().clock
+        self.request_tracer = (
+            request_tracer if request_tracer is not None else RequestTracer()
+        )
         self._queue: list[PendingRequest] = []
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -132,24 +161,48 @@ class ServeServer:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit_async(self, node_ids=None, graph=None) -> PendingRequest:
+    def _record_stage(self, trace: RequestTrace, span) -> None:
+        self.metrics.observe_stage(span.name, span.duration, trace.trace_id)
+
+    def submit_async(
+        self, node_ids=None, graph=None, deadline_s=None
+    ) -> PendingRequest:
         """Enqueue a request; returns a handle that resolves later."""
-        pending = PendingRequest(
-            Request(node_ids=node_ids, graph=graph), self._clock()
-        )
-        with self._not_empty:
-            if self._stopping or not self._started:
-                raise RuntimeError("server is not accepting requests")
-            self._queue.append(pending)
-            depth = len(self._queue)
-            self._not_empty.notify()
+        trace = self.request_tracer.start_request()
+        with trace.stage("enqueue") as enqueue_span:
+            pending = PendingRequest(
+                Request(
+                    node_ids=node_ids, graph=graph,
+                    ctx=trace.context, deadline_s=deadline_s,
+                ),
+                self._clock(),
+                trace=trace,
+            )
+            # queue_wait must open before the append: once notified, a
+            # worker may pick the request up (and finish this span)
+            # before submit_async regains the GIL.
+            pending._queue_wait = trace.stage("queue_wait")
+            with self._not_empty:
+                if self._stopping or not self._started:
+                    pending._queue_wait.finish()
+                    trace.finish(status="rejected")
+                    raise RuntimeError("server is not accepting requests")
+                self._queue.append(pending)
+                depth = len(self._queue)
+                self._not_empty.notify()
+        self._record_stage(trace, enqueue_span)
         self.metrics.observe_requests()
         self.metrics.observe_queue_depth(depth)
         return pending
 
-    def submit(self, node_ids=None, graph=None, timeout: float | None = None):
+    def submit(
+        self, node_ids=None, graph=None,
+        timeout: float | None = None, deadline_s=None,
+    ):
         """Synchronous predict: enqueue and block for the result."""
-        return self.submit_async(node_ids=node_ids, graph=graph).result(timeout)
+        return self.submit_async(
+            node_ids=node_ids, graph=graph, deadline_s=deadline_s
+        ).result(timeout)
 
     # ------------------------------------------------------------------
     # worker
@@ -165,16 +218,43 @@ class ServeServer:
                 del self._queue[: len(batch)]
                 depth = len(self._queue)
             self.metrics.observe_queue_depth(depth)
-            try:
-                results = self.engine.predict_batch(
-                    [pending.request for pending in batch]
+            # Cross the boundary: this worker closes each request's
+            # queue_wait (opened on the client thread) and times batch
+            # assembly — dequeue to the moment the engine takes over.
+            assembling = []
+            for pending in batch:
+                pending._queue_wait.finish()
+                self._record_stage(pending.trace, pending._queue_wait)
+                assembling.append(
+                    pending.trace.stage("batch_assemble", batch=len(batch))
                 )
+            requests = [pending.request for pending in batch]
+            for pending, span in zip(batch, assembling):
+                span.finish()
+                self._record_stage(pending.trace, span)
+            try:
+                results = self.engine.predict_batch(requests)
             except Exception as error:  # resolve, don't kill the worker
                 now = self._clock()
                 for pending in batch:
-                    pending._fail(error, now)
+                    with pending.trace.stage("resolve") as resolve_span:
+                        pending._fail(error, now)
+                    self._record_stage(pending.trace, resolve_span)
+                    self.metrics.observe_error()
+                    pending.trace.finish(
+                        status="error", error=type(error).__name__
+                    )
                 continue
             now = self._clock()
             for pending, value in zip(batch, results):
-                pending._resolve(value, now)
-                self.metrics.observe_latency(pending.latency)
+                with pending.trace.stage("resolve") as resolve_span:
+                    pending._resolve(value, now)
+                self._record_stage(pending.trace, resolve_span)
+                latency = pending.latency
+                self.metrics.observe_latency(latency, pending.trace_id)
+                status = "ok"
+                deadline = pending.request.deadline_s
+                if deadline is not None and latency > deadline:
+                    self.metrics.observe_deadline_exceeded()
+                    status = "deadline_exceeded"
+                pending.trace.finish(status=status, latency_s=latency)

@@ -624,6 +624,82 @@ class TestTapeInInference:
         assert [f.rule_id for f in result.suppressed] == ["tape-in-inference"]
 
 
+class TestUntracedServePath:
+    SERVE_PATH = "src/repro/serve/server.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_unguarded_resolve_and_fail(self):
+        result = self.run_at(
+            """
+            def drain(pending, value, error, now):
+                pending._resolve(value, now)
+                pending._fail(error, now)
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == [
+            "untraced-serve-path", "untraced-serve-path",
+        ]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_stage_block_is_clean(self):
+        result = self.run_at(
+            """
+            def drain(pending, value, now):
+                with pending.trace.stage("resolve"):
+                    pending._resolve(value, now)
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_guard_must_lexically_contain_the_call(self):
+        result = self.run_at(
+            """
+            def drain(pending, value, now):
+                with pending.trace.stage("resolve"):
+                    pass
+                pending._resolve(value, now)
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == ["untraced-serve-path"]
+
+    def test_other_private_calls_are_clean(self):
+        result = self.run_at(
+            """
+            def drain(server, pending):
+                server._dispatch(pending)
+                pending._notify()
+            """,
+            self.SERVE_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_outside_serve_is_out_of_scope(self):
+        source = """
+            def drain(pending, value, now):
+                pending._resolve(value, now)
+            """
+        assert rule_ids(self.run_at(source, "src/repro/obs/spans.py")) == []
+        assert rule_ids(self.run_at(source, "tests/serve/test_server.py")) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            def shutdown(pending, error, now):
+                pending._fail(error, now)  # lint: disable=untraced-serve-path -- teardown
+            """,
+            self.SERVE_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["untraced-serve-path"]
+
+
 class TestSuppression:
     def test_inline_disable_moves_finding_to_suppressed(self):
         result = run(

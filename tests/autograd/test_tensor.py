@@ -124,6 +124,54 @@ class TestGradMode:
         finally:
             set_grad_enabled(True)
 
+    def test_grad_mode_is_per_thread(self):
+        # A worker thread's no_grad block must not disable recording on
+        # the main thread — serve workers run eval forwards concurrently
+        # with (and after) training code.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert entered.wait(timeout=30)
+            # Worker is inside no_grad right now; we still record.
+            assert is_grad_enabled()
+            x = Tensor([1.0], requires_grad=True)
+            assert (x * 2.0).requires_grad
+        finally:
+            release.set()
+            thread.join()
+        assert is_grad_enabled()
+
+    def test_overlapping_no_grad_blocks_cannot_wedge_grad_mode(self):
+        # Regression: with a process-global flag, two threads whose
+        # save/restore windows interleave could leave grad mode stuck
+        # off after both exited. Hammer the window from two threads.
+        import threading
+
+        def toggler():
+            for __ in range(500):
+                with no_grad():
+                    pass
+
+        threads = [threading.Thread(target=toggler) for __ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert is_grad_enabled()
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
     def test_detach_cuts_tape(self):
         x = Tensor([1.0], requires_grad=True)
         y = (x * 2.0).detach()

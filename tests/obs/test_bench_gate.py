@@ -6,6 +6,8 @@ import pytest
 
 from repro.obs.bench_gate import (
     compare_bench,
+    is_seconds,
+    is_tail_percentile,
     is_wall_clock,
     load_bench,
     metric_direction,
@@ -112,6 +114,82 @@ class TestCompareBench:
         payload = _payload({"final_score.cora": 0.8, "search_time_s.cora": 2.0})
         deltas = compare_bench(payload, payload)
         assert all(d.status == "ok" for d in deltas)
+
+    def test_sub_floor_duration_jitter_never_gates(self):
+        # A 30 µs tail doubling is timer noise, not a regression: with
+        # both sides under the floor the relative tolerance is moot.
+        base = _payload({"serve.stage.resolve.p50_s": 3.3e-05})
+        noisy = _payload({"serve.stage.resolve.p50_s": 6.1e-05})  # +85%
+        deltas = compare_bench(base, noisy, abs_floor_s=1e-3)
+        assert deltas[0].status == "ok"
+        assert not deltas[0].gates
+        # The same delta without a floor gates — the floor is the fix.
+        assert compare_bench(base, noisy)[0].status == "regression"
+
+    def test_sub_floor_improvement_is_noise_too(self):
+        base = _payload({"serve.stage.slice.p99_s": 6.0e-05})
+        fast = _payload({"serve.stage.slice.p99_s": 1.0e-05})
+        deltas = compare_bench(base, fast, abs_floor_s=1e-3)
+        assert deltas[0].status == "ok"
+
+    def test_climbing_past_the_floor_still_gates(self):
+        # 33 µs -> 5 ms is a real regression; only *both*-below-floor
+        # deltas are forgiven.
+        base = _payload({"serve.stage.resolve.p50_s": 3.3e-05})
+        slow = _payload({"serve.stage.resolve.p50_s": 5.0e-03})
+        deltas = compare_bench(base, slow, abs_floor_s=1e-3)
+        assert deltas[0].status == "regression"
+        assert deltas[0].gates
+
+    def test_floor_only_touches_seconds_metrics(self):
+        # A score of 0.0008 is not a duration: the floor must not
+        # forgive a 50% accuracy collapse just because it is small.
+        assert not is_seconds("final_score.cora")
+        assert not is_seconds("kernel.index_add.bytes_moved")
+        assert is_seconds("serve.stage.forward.p99_s")
+        assert is_seconds("search_time_s.sane.cora")
+        base = _payload({"final_score.cora": 8e-04})
+        bad = _payload({"final_score.cora": 4e-04})
+        deltas = compare_bench(base, bad, abs_floor_s=1e-3)
+        assert deltas[0].status == "regression"
+
+    def test_tail_percentiles_report_noisy_instead_of_gating(self):
+        # A p99 over a few hundred samples is max-like: one co-tenant
+        # scheduler burst moves it 4x while the median sits still. It
+        # must not hard-gate by default — but the move stays visible.
+        assert is_tail_percentile("serve.c16.p99_latency_s")
+        assert is_tail_percentile("serve.latency.p99_s")
+        assert not is_tail_percentile("serve.c16.p50_latency_s")
+        base = _payload({"serve.latency.p99_s": 2.2e-03})
+        burst = _payload({"serve.latency.p99_s": 5.8e-03})  # +164%
+        deltas = compare_bench(base, burst)
+        assert deltas[0].status == "noisy"
+        assert not deltas[0].gates
+        # Opting in restores the hard gate.
+        gated = compare_bench(base, burst, gate_tails=True)
+        assert gated[0].status == "regression"
+        assert gated[0].gates
+
+    def test_tail_within_tolerance_is_plain_ok(self):
+        base = _payload({"serve.latency.p99_s": 2.2e-03})
+        near = _payload({"serve.latency.p99_s": 2.4e-03})  # +9%
+        assert compare_bench(base, near)[0].status == "ok"
+
+    def test_vanished_tail_metric_still_gates(self):
+        # "noisy" forgives magnitude, not absence: a payload that stops
+        # emitting its p99 gauge is a shape regression.
+        deltas = compare_bench(
+            _payload({"serve.latency.p99_s": 2.2e-03}), _payload({})
+        )
+        assert deltas[0].status == "missing"
+        assert deltas[0].gates
+
+    def test_median_regressions_still_hard_gate(self):
+        base = _payload({"serve.c1.p50_latency_s": 2.0e-03})
+        slow = _payload({"serve.c1.p50_latency_s": 4.0e-03})  # +100%
+        deltas = compare_bench(base, slow, abs_floor_s=1e-3)
+        assert deltas[0].status == "regression"
+        assert deltas[0].gates
 
     def test_spans_only_gate_when_asked(self):
         spans_base = [{"path": "search/epoch", "total_s": 1.0}]

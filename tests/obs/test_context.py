@@ -1,0 +1,152 @@
+"""Request trace context: explicit parents, deterministic ids, threads."""
+
+import threading
+
+from repro.obs import InMemorySink, Tracer
+from repro.obs.context import (
+    REQUEST_SPAN,
+    REQUEST_STAGES,
+    RequestTrace,
+    RequestTracer,
+    TraceContext,
+    context_span,
+    mirror_span,
+)
+
+
+class FakeClock:
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer():
+    tracer = Tracer(clock=FakeClock())
+    sink = InMemorySink()
+    tracer.add_sink(sink)
+    return tracer, sink
+
+
+class TestRequestTracer:
+    def test_trace_ids_are_deterministic(self):
+        tracer, _ = make_tracer()
+        factory = RequestTracer(tracer)
+        ids = [factory.start_request().trace_id for __ in range(3)]
+        assert ids == ["t-00000000", "t-00000001", "t-00000002"]
+        assert factory.issued == 3
+
+    def test_two_factories_name_traces_identically(self):
+        ids = []
+        for __ in range(2):
+            tracer, _ = make_tracer()
+            factory = RequestTracer(tracer)
+            ids.append([factory.start_request().trace_id for __ in range(5)])
+        assert ids[0] == ids[1]
+
+    def test_custom_prefix(self):
+        tracer, _ = make_tracer()
+        factory = RequestTracer(tracer, prefix="req-")
+        assert factory.start_request().trace_id == "req-00000000"
+
+
+class TestRequestTrace:
+    def test_root_span_shape(self):
+        tracer, sink = make_tracer()
+        trace = RequestTracer(tracer).start_request()
+        trace.finish(status="ok")
+        (root,) = sink.spans
+        assert root.name == REQUEST_SPAN
+        assert root.kind == "request"
+        assert root.parent_id is None and root.depth == 0
+        assert root.attrs["trace"] == trace.trace_id
+        assert root.attrs["status"] == "ok"
+
+    def test_stages_attach_to_root_not_stack(self):
+        tracer, sink = make_tracer()
+        # An unrelated stack span is open the whole time; explicit
+        # request spans must neither parent off it nor disturb it.
+        with tracer.span("outer") as outer:
+            trace = RequestTracer(tracer).start_request()
+            stage = trace.stage("enqueue")
+            stage.finish()
+            trace.finish()
+            assert tracer.current is outer
+        names = {span.name: span for span in sink.spans}
+        root = names[REQUEST_SPAN]
+        assert names["enqueue"].parent_id == root.span_id
+        assert names["enqueue"].depth == 1
+        assert names["outer"].parent_id is None
+        assert root.parent_id is None
+
+    def test_finish_is_idempotent(self):
+        tracer, sink = make_tracer()
+        trace = RequestTracer(tracer).start_request()
+        trace.finish()
+        end = trace.root.t_end
+        trace.finish()
+        assert trace.root.t_end == end
+        assert len(sink.spans) == 1
+
+    def test_stage_started_on_one_thread_finished_on_another(self):
+        tracer, sink = make_tracer()
+        trace = RequestTracer(tracer).start_request()
+        stage = trace.stage("queue_wait")
+
+        worker = threading.Thread(target=stage.finish)
+        worker.start()
+        worker.join()
+        trace.finish()
+        names = [span.name for span in sink.spans]
+        assert names == ["queue_wait", REQUEST_SPAN]
+        assert sink.spans[0].parent_id == trace.root.span_id
+
+    def test_explicit_span_as_context_manager_does_not_restart(self):
+        tracer, sink = make_tracer()
+        trace = RequestTracer(tracer).start_request()
+        stage = trace.stage("resolve")
+        started = stage.span_id
+        with stage:
+            pass
+        assert stage.span_id == started
+        assert stage.t_end is not None
+        assert tracer.current is None
+
+
+class TestContextSpan:
+    def test_attaches_to_named_parent(self):
+        tracer, sink = make_tracer()
+        ctx = TraceContext(trace_id="t-0", request_id=0, parent_span_id=41)
+        span = context_span("forward", ctx, tracer=tracer)
+        span.finish()
+        assert span.parent_id == 41
+        assert span.attrs["trace"] == "t-0"
+        assert sink.spans == [span]
+
+    def test_mirror_span_copies_window(self):
+        tracer, sink = make_tracer()
+        ctx = TraceContext(trace_id="t-0", request_id=0, parent_span_id=7)
+        span = mirror_span("forward", ctx, 2.5, 4.0, tracer=tracer, shared=3)
+        assert span.t_start == 2.5 and span.t_end == 4.0
+        assert span.duration == 1.5
+        assert span.parent_id == 7
+        assert span.attrs["shared"] == 3
+        assert sink.spans == [span]
+
+
+class TestConstants:
+    def test_stage_vocabulary_is_the_pipeline(self):
+        assert REQUEST_STAGES == (
+            "enqueue", "queue_wait", "batch_assemble",
+            "forward", "slice", "resolve",
+        )
+
+    def test_context_round_trips_to_dict(self):
+        ctx = TraceContext(trace_id="t-2a", request_id=42, parent_span_id=9)
+        assert ctx.to_dict() == {
+            "trace_id": "t-2a", "request_id": 42, "parent_span_id": 9,
+        }

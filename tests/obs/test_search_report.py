@@ -9,8 +9,12 @@ import numpy as np
 
 from repro.core.search import SaneSearcher, SearchConfig
 from repro.core.search_space import SearchSpace
-from repro.obs import record_events, render_diff, render_run
-from repro.obs.search_report import _sparkline, split_searches
+from repro.obs import health, record_events, render_diff, render_run
+from repro.obs.search_report import (
+    _sparkline,
+    load_run_records,
+    split_searches,
+)
 
 SMALL_SPACE = SearchSpace(
     num_layers=2, node_ops=("gcn", "sage-mean"), layer_ops=("concat", "max")
@@ -97,6 +101,48 @@ class TestRenderRun:
             recorder.emit("train_start", mode="transductive", epochs=1)
         text = render_run(path)
         assert "(no search_start events recorded)" in text
+
+
+class TestGradHealthSection:
+    def _record_monitored(self, path, tiny_graph, dead_op_eps=1e-6):
+        with record_events(path, label="search:test", clock=FakeClock(0.25)):
+            with health.check_numerics(mode="warn", dead_op_eps=dead_op_eps):
+                SaneSearcher(SMALL_SPACE, tiny_graph, SHARP, seed=0).search()
+
+    def test_monitored_run_renders_gradient_health(self, tiny_graph, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._record_monitored(path, tiny_graph)
+        text = render_run(path)
+        assert "gradient health (|g_alpha|/|g_w| trend" in text
+        assert "|g_alpha|" in text and "alpha_step" in text
+        # One grad_health row per epoch of the smoke search.
+        events, _ = load_run_records(path)
+        runs = split_searches(events)
+        assert sorted(runs[0].grad_health) == list(range(SHARP.epochs))
+
+    def test_dead_op_sightings_render_when_eps_is_hot(
+        self, tiny_graph, tmp_path
+    ):
+        # An absurd eps declares most mixture weights "dead" so the
+        # sightings table is guaranteed to populate at smoke scale.
+        path = tmp_path / "run.jsonl"
+        self._record_monitored(path, tiny_graph, dead_op_eps=0.5)
+        text = render_run(path)
+        assert "dead-op sightings:" in text
+        events, _ = load_run_records(path)
+        runs = split_searches(events)
+        assert runs[0].dead_ops
+        sighting = runs[0].dead_ops[0]
+        assert {"epoch", "edge", "layer", "op", "weight"} <= set(sighting)
+
+    def test_unmonitored_run_has_no_section(self, tiny_graph, tmp_path):
+        # Old traces (and monitor-off runs) must render exactly as
+        # before the section existed.
+        path = tmp_path / "run.jsonl"
+        _record_search(path, seed=0, tiny_graph=tiny_graph)
+        text = render_run(path)
+        assert "gradient health" not in text
+        assert "dead-op sightings" not in text
 
 
 class TestRenderDiff:

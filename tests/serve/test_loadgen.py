@@ -92,9 +92,12 @@ class TestRunLoad:
         captured: list[list] = []
 
         class Recording(ServeServer):
-            def submit_async(self, node_ids=None, graph=None):
+            def submit_async(self, node_ids=None, graph=None,
+                             deadline_s=None):
                 captured[-1].append(np.asarray(node_ids).copy())
-                return super().submit_async(node_ids=node_ids, graph=graph)
+                return super().submit_async(
+                    node_ids=node_ids, graph=graph, deadline_s=deadline_s
+                )
 
         for __ in range(2):
             captured.append([])

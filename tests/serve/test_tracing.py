@@ -1,0 +1,178 @@
+"""Request tracing through the server: tree integrity under concurrency.
+
+The load-bearing guarantee: N requests submitted from N threads
+produce N complete, disjoint span trees — correct parent links, the
+full stage vocabulary, no orphans — no matter how worker threads
+interleave, under both kernel backends. Plus the identity guarantee
+tracing rests on: recording a trace changes no prediction bytes.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autograd import kernels
+from repro.obs import InMemorySink, get_tracer
+from repro.obs.context import REQUEST_SPAN, REQUEST_STAGES
+from repro.serve import InferenceEngine, ServeServer
+
+
+@pytest.fixture()
+def engine(node_artifact):
+    return InferenceEngine.from_artifact(node_artifact)
+
+
+def collect_trees(spans):
+    """Group finished spans into {trace_id: {root, stages}}."""
+    trees = {}
+    for span in spans:
+        trace_id = span.attrs.get("trace")
+        if trace_id is None:
+            continue  # serve.batch / serve.forward stack spans
+        tree = trees.setdefault(trace_id, {"root": None, "stages": []})
+        if span.kind == "request":
+            tree["root"] = span
+        elif span.kind == "stage":
+            tree["stages"].append(span)
+    return trees
+
+
+class TestConcurrentTraceIntegrity:
+    @pytest.mark.parametrize("backend", ["naive", "fused"])
+    def test_n_threads_produce_n_disjoint_complete_trees(
+        self, engine, backend
+    ):
+        num_threads = 8
+        sink = InMemorySink()
+        ids = [np.array([index, index + 1]) for index in range(num_threads)]
+        with kernels.use_backend(backend):
+            with get_tracer().collect(sink):
+                with ServeServer(engine, max_batch=4, workers=2) as server:
+                    barrier = threading.Barrier(num_threads)
+
+                    def client(index):
+                        barrier.wait()
+                        server.submit(node_ids=ids[index])
+
+                    threads = [
+                        threading.Thread(target=client, args=(index,))
+                        for index in range(num_threads)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+
+        trees = collect_trees(sink.spans)
+        assert len(trees) == num_threads
+        all_ids = [span.span_id for span in sink.spans]
+        assert len(all_ids) == len(set(all_ids)), "span ids must be unique"
+        for trace_id, tree in trees.items():
+            root = tree["root"]
+            assert root is not None, f"{trace_id}: root span missing"
+            assert root.name == REQUEST_SPAN
+            assert root.parent_id is None and root.depth == 0
+            assert root.attrs["status"] == "ok"
+            names = [span.name for span in tree["stages"]]
+            assert sorted(names) == sorted(REQUEST_STAGES), (
+                f"{trace_id}: stages {names}"
+            )
+            for span in tree["stages"]:
+                assert span.parent_id == root.span_id, (
+                    f"{trace_id}: {span.name} orphaned "
+                    f"(parent {span.parent_id} != root {root.span_id})"
+                )
+                assert span.depth == 1
+                assert span.attrs["trace"] == trace_id
+                assert span.t_end is not None
+
+    def test_stage_windows_sit_inside_the_root(self, engine):
+        sink = InMemorySink()
+        with get_tracer().collect(sink):
+            with ServeServer(engine, max_batch=4) as server:
+                server.submit(node_ids=np.array([0, 1, 2]))
+        ((_, tree),) = collect_trees(sink.spans).items()
+        root = tree["root"]
+        for span in tree["stages"]:
+            assert span.t_start >= root.t_start - 1e-9
+            assert span.t_end <= root.t_end + 1e-9
+        stage_sum = sum(span.duration for span in tree["stages"])
+        # enqueue/queue_wait overlap by a hair; everything else is
+        # sequential, so the sum stays in the same ballpark as the root.
+        assert 0.0 < stage_sum <= 2.0 * root.duration
+
+    def test_error_trees_are_complete_too(self, engine):
+        sink = InMemorySink()
+        with get_tracer().collect(sink):
+            with ServeServer(engine, max_batch=4) as server:
+                pending = server.submit_async(
+                    node_ids=np.array([10 ** 9])  # out of range -> engine error
+                )
+                with pytest.raises(Exception):
+                    pending.result(timeout=30)
+        ((_, tree),) = collect_trees(sink.spans).items()
+        assert tree["root"].attrs["status"] == "error"
+        names = {span.name for span in tree["stages"]}
+        # forward/slice never happened; the queue-side stages and the
+        # terminal resolve did.
+        assert {"enqueue", "queue_wait", "batch_assemble", "resolve"} <= names
+        assert engine.metrics.registry.counter("serve.errors").value == 1.0
+
+
+class TestTracedUntracedIdentity:
+    @pytest.mark.parametrize("backend", ["naive", "fused"])
+    def test_predictions_bit_identical_with_and_without_sink(
+        self, node_artifact, backend
+    ):
+        ids = np.arange(6)
+        outputs = []
+        for traced in (False, True):
+            engine = InferenceEngine.from_artifact(node_artifact)
+            sink = InMemorySink()
+            with kernels.use_backend(backend):
+                if traced:
+                    with get_tracer().collect(sink):
+                        with ServeServer(engine, max_batch=8) as server:
+                            outputs.append(server.submit(node_ids=ids))
+                else:
+                    with ServeServer(engine, max_batch=8) as server:
+                        outputs.append(server.submit(node_ids=ids))
+        assert np.array_equal(outputs[0], outputs[1])
+
+    def test_direct_predict_records_no_request_spans(self, engine):
+        sink = InMemorySink()
+        with get_tracer().collect(sink):
+            engine.predict(node_ids=np.arange(3))
+        assert collect_trees(sink.spans) == {}
+        assert any(span.name == "serve.forward" for span in sink.spans)
+
+
+class TestDeadlineAccounting:
+    def test_deadline_misses_counted_not_shed(self, engine):
+        with ServeServer(engine, max_batch=4) as server:
+            value = server.submit(node_ids=np.array([0]), deadline_s=0.0)
+        assert value is not None  # the answer still came back
+        counters = engine.metrics.registry
+        assert counters.counter("serve.deadline_exceeded").value == 1.0
+        assert counters.counter("serve.errors").value == 0.0
+
+    def test_generous_deadline_does_not_count(self, engine):
+        with ServeServer(engine, max_batch=4) as server:
+            server.submit(node_ids=np.array([0]), deadline_s=60.0)
+        assert (
+            engine.metrics.registry.counter("serve.deadline_exceeded").value
+            == 0.0
+        )
+
+    def test_slo_summary_in_finalize(self, engine):
+        with ServeServer(engine, max_batch=4) as server:
+            server.submit(node_ids=np.array([0]), deadline_s=0.0)
+            server.submit(node_ids=np.array([1]), deadline_s=60.0)
+        summary = engine.metrics.finalize()
+        slo = summary["slo"]
+        assert slo["deadline_exceeded"] == 1.0
+        assert slo["errors"] == 0.0
+        assert slo["availability"] == 0.5
+        assert "stages" in summary
+        assert set(summary["stages"]) == set(REQUEST_STAGES)
