@@ -3,27 +3,35 @@
 Shape assertions, scaled to the candidate budget: the SANE anytime
 curve finishes earlier on the time axis than every trial-and-error
 trajectory while reaching a comparable final score — the "orders of
-magnitude" efficiency picture of the paper. The ordering only holds
-near the paper's 200-candidate budget (the ``full`` preset): at
+magnitude" efficiency picture of the paper. The full ordering only
+holds near the paper's 200-candidate budget (the ``full`` preset): at
 ``default``'s 6-candidate budget the supernet's constant cost is not
-amortised (a 6-draw random search can legitimately finish first), so
-``default`` and ``smoke`` assert the structural shape of the
-trajectories only and record the end times for inspection.
+amortised on the small graphs (a 6-draw random search legitimately
+finishes first there — measured in ``benchmarks/baselines/default/``),
+but on the largest dataset (ppi) each trial-and-error candidate pays
+a full training run and SANE's curve already ends first, so
+``default`` asserts that. ``smoke`` asserts the structural shape of
+the trajectories only and records the end times for inspection.
+``REPRO_BENCH_WORKERS=N`` fans the 16 cells over the parallel runner.
 """
 
 from repro.experiments import run_figure3
 
-from common import bench_scale, show, tracked_run
+from common import bench_scale, bench_workers, show, tracked_run
 
 DATASETS = ("cora", "citeseer", "pubmed", "ppi")
 
 
 def test_figure3_efficiency_trajectories(benchmark):
     scale = bench_scale()
+    workers = bench_workers()
     with tracked_run("figure3_efficiency") as run:
         result = benchmark.pedantic(
-            lambda: run_figure3(scale, datasets=DATASETS), rounds=1, iterations=1
+            lambda: run_figure3(scale, datasets=DATASETS, workers=workers),
+            rounds=1,
+            iterations=1,
         )
+        run.extra["workers"] = workers
         for dataset in DATASETS:
             for method, score in result.final_scores(dataset).items():
                 run.metrics.gauge(f"final_score.{method}.{dataset}").set(score)
@@ -41,6 +49,19 @@ def test_figure3_efficiency_trajectories(benchmark):
             times = [t for t, __ in trajectory]
             assert times == sorted(times), f"{dataset}/{method}: time not monotone"
             assert all(0.0 <= s <= 1.0 for __, s in trajectory)
+    if scale.name == "smoke":
+        return
+
+    # Largest-dataset ordering (default and up): SANE's anytime curve
+    # on ppi ends before every trial-and-error trajectory (measured
+    # margin >= 1.5x at the 6-candidate budget).
+    ppi = result.trajectories["ppi"]
+    sane_end = ppi["sane"][-1][0]
+    for method in ("random", "bayesian", "graphnas"):
+        assert ppi[method][-1][0] > sane_end, (
+            f"ppi: {method} finished at {ppi[method][-1][0]:.1f}s, "
+            f"sane at {sane_end:.1f}s"
+        )
     if scale.name != "full":
         return
 

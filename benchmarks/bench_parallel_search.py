@@ -1,0 +1,79 @@
+"""Benchmark: multi-process search orchestrator speedup curve.
+
+Runs the same (dataset, method) sweep at worker counts 1, 2 and 4 on
+the shared :class:`repro.parallel.WorkerPool` and records the wall
+time and speedup of each point. Two claims are checked:
+
+- **Determinism** (every machine): the sweep digest — a SHA-256 over
+  every seed-derived output — is identical at all worker counts. This
+  is the bit-identical-merge contract of DESIGN.md section 12 at
+  benchmark scale, and it gates unconditionally.
+- **Speedup** (multi-core machines only): with four real cores the
+  4-worker sweep must beat the sequential baseline by >= 2.5x. On
+  boxes with fewer cores the spawn/IPC overhead makes that physically
+  unreachable, so the assertion is gated on CPU affinity and the
+  recorded curve simply documents what the machine did.
+
+The sweep grid is one dataset x (sane, graphnas): SANE fans out its
+search seeds and retrain repeats, GraphNAS fans out rollout batches —
+together they exercise every job wave the orchestrator schedules.
+"""
+
+import dataclasses
+import os
+
+from repro.parallel.sweep import run_sweep
+
+from common import bench_scale, show, tracked_run
+
+WORKERS = (1, 2, 4)
+DATASETS = ("cora",)
+METHODS = ("sane", "graphnas")
+ROLLOUT_BATCH = 2  # fixed across worker counts so digests are comparable
+
+
+def test_parallel_search(benchmark):
+    base = bench_scale()
+    # At least two search seeds, otherwise the SANE search wave has a
+    # single job and the curve only measures retrain fan-out.
+    scale = dataclasses.replace(base, search_seeds=max(2, base.search_seeds))
+    with tracked_run("parallel_search") as run:
+        results = benchmark.pedantic(
+            lambda: {
+                w: run_sweep(
+                    DATASETS,
+                    scale,
+                    seed=0,
+                    methods=METHODS,
+                    workers=w,
+                    rollout_batch=ROLLOUT_BATCH,
+                    metrics=run.metrics,
+                )
+                for w in WORKERS
+            },
+            rounds=1,
+            iterations=1,
+        )
+        baseline = results[WORKERS[0]].wall_s
+        for w, result in results.items():
+            run.metrics.gauge(f"sweep_time_s.w{w}").set(result.wall_s)
+            run.metrics.gauge(f"speedup.w{w}").set(baseline / result.wall_s)
+        run.extra["digest"] = results[WORKERS[0]].digest()
+        run.extra["cores"] = len(os.sched_getaffinity(0))
+    for w, result in results.items():
+        show(f"Parallel sweep — workers={w}", result.render())
+
+    # Determinism: worker count must be invisible in the output.
+    digests = {w: result.digest() for w, result in results.items()}
+    assert len(set(digests.values())) == 1, digests
+
+    # Structure: every point timed, the pool actually ran jobs.
+    for result in results.values():
+        assert result.wall_s > 0.0
+        assert len(result.cells) == len(DATASETS) * len(METHODS)
+    snapshot = run.metrics.snapshot()
+    assert snapshot["counters"]["parallel.jobs"]["value"] > 0
+
+    # Speedup: only meaningful with real cores to spread across.
+    if len(os.sched_getaffinity(0)) >= 4:
+        assert baseline / results[4].wall_s >= 2.5

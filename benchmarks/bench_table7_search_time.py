@@ -3,27 +3,35 @@
 Shape assertion, scaled to the candidate budget: the paper's claim —
 one-shot SANE search is orders of magnitude faster than every
 trial-and-error method — holds at its 200-candidate budget. The
-``full`` preset approximates that budget, so the ordering claims are
-asserted there. ``default`` runs a 6-candidate budget where the
-supernet's constant cost is not amortised (a 6-draw random search can
-legitimately finish first), and ``smoke`` runs seconds-long searches
-that are pure constant overhead — both assert structural facts only
-and record the timings for inspection.
+``full`` preset approximates that budget, so the full ordering claims
+are asserted there. ``default`` runs a 6-candidate budget where the
+supernet's constant cost is not amortised on the small graphs (a
+6-draw random search legitimately finishes first on cora/citeseer/
+pubmed — measured in ``benchmarks/baselines/default/``), but on the
+largest dataset (ppi, where each trial-and-error candidate pays a
+full expensive training run) SANE already wins — so ``default``
+asserts the ordering there. ``smoke`` runs seconds-long searches that
+are pure constant overhead and asserts structural facts only.
+``REPRO_BENCH_WORKERS=N`` fans the 16 cells over the parallel runner.
 """
 
 from repro.experiments import run_table7
 
-from common import bench_scale, show, tracked_run
+from common import bench_scale, bench_workers, show, tracked_run
 
 DATASETS = ("cora", "citeseer", "pubmed", "ppi")
 
 
 def test_table7_search_time(benchmark):
     scale = bench_scale()
+    workers = bench_workers()
     with tracked_run("table7_search_time") as run:
         result = benchmark.pedantic(
-            lambda: run_table7(scale, datasets=DATASETS), rounds=1, iterations=1
+            lambda: run_table7(scale, datasets=DATASETS, workers=workers),
+            rounds=1,
+            iterations=1,
         )
+        run.extra["workers"] = workers
         for method, times in result.times.items():
             for dataset, seconds in times.items():
                 run.metrics.gauge(f"search_time_s.{method}.{dataset}").set(seconds)
@@ -38,6 +46,20 @@ def test_table7_search_time(benchmark):
             assert result.times[method][dataset] > 0.0
     speedups = [result.speedup(ds) for ds in DATASETS]
     assert all(s > 0.0 for s in speedups)
+    if scale.name == "smoke":
+        return
+
+    # Largest-dataset ordering (default and up): on ppi every
+    # trial-and-error candidate pays a full training run, so SANE's
+    # constant supernet cost amortises even at the 6-candidate budget
+    # (measured margin >= 1.9x; asserted with slack).
+    sane_ppi = result.times["sane"]["ppi"]
+    for method in ("random", "bayesian", "graphnas"):
+        assert result.times[method]["ppi"] > sane_ppi, (
+            f"ppi: {method}={result.times[method]['ppi']:.1f}s not slower "
+            f"than sane={sane_ppi:.1f}s"
+        )
+    assert result.speedup("ppi") > 1.2
     if scale.name != "full":
         return
 

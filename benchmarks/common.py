@@ -31,13 +31,28 @@ from repro.autograd.kernels import KernelCounters, count_kernels
 from repro.experiments.config import SCALES, Scale
 from repro.obs import InMemorySink, MetricsRegistry, TRACE_VERSION, aggregate_spans, get_tracer
 
-__all__ = ["bench_scale", "show", "BenchRun", "tracked_run", "emit_metrics"]
+__all__ = [
+    "bench_scale", "bench_workers", "show", "BenchRun", "tracked_run",
+    "emit_metrics",
+]
 
 
 def bench_scale() -> Scale:
     """Scale preset for benchmarks (env-controlled)."""
     name = os.environ.get("REPRO_SCALE", "default")
     return SCALES[name]
+
+
+def bench_workers() -> int:
+    """Worker processes for benches that fan out (env-controlled).
+
+    ``REPRO_BENCH_WORKERS`` (default 0 = in-process) routes a bench's
+    experiment through the same :class:`repro.parallel.WorkerPool` the
+    CLI uses. Scores are worker-count-invariant by the deterministic-
+    merge contract; only the timings change, so a payload recorded at
+    N workers gates cleanly against one recorded at M.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
 def show(title: str, text: str) -> None:

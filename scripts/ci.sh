@@ -26,6 +26,22 @@ python -m pytest -x -q
 echo "==> test suite at smoke scale"
 REPRO_SCALE=smoke python -m pytest -x -q
 
+# Parallel orchestrator smoke through the CLI: the same sweep runs
+# in-process and on two spawned workers, and the digest line — a
+# SHA-256 over every seed-derived output — must match exactly. This is
+# the bit-identical-merge contract (DESIGN.md section 12) checked end
+# to end, CLI included, on every CI run.
+echo "==> parallel sweep smoke (repro sweep --workers 2)"
+SWEEP_SEQ="$(REPRO_SCALE=smoke python -m repro sweep cora --methods sane random --workers 0)"
+SWEEP_PAR="$(REPRO_SCALE=smoke python -m repro sweep cora --methods sane random --workers 2)"
+echo "$SWEEP_PAR"
+DIGEST_SEQ="$(grep '^digest:' <<<"$SWEEP_SEQ")"
+DIGEST_PAR="$(grep '^digest:' <<<"$SWEEP_PAR")"
+[[ "$DIGEST_SEQ" == "$DIGEST_PAR" ]] || {
+    echo "sweep digest mismatch: sequential=$DIGEST_SEQ workers-2=$DIGEST_PAR" >&2
+    exit 1
+}
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     BENCH_DIR="$(mktemp -d)"
     trap 'rm -rf "$BENCH_DIR"' EXIT

@@ -25,6 +25,7 @@ __all__ = [
     "MutableDefaultArgRule",
     "AdHocTimingRule",
     "BufferedScatterRule",
+    "RawMultiprocessingRule",
     "NakedPrintRule",
     "UncheckedNanSourceRule",
     "MissingOpScopeRule",
@@ -478,6 +479,70 @@ class BufferedScatterRule(Rule):
         return rest != ("autograd", "kernels.py")
 
 
+class RawMultiprocessingRule(Rule):
+    """Process-spawning primitives outside ``repro.parallel``.
+
+    DESIGN.md section 12: every multi-process fan-out goes through the
+    :class:`repro.parallel.WorkerPool`, which owns the determinism
+    contract (merge by job id, per-job seeds), the crash/timeout/retry
+    handling and the ``parallel.*`` telemetry. A stray
+    ``multiprocessing`` import or ``os.fork()`` call elsewhere forks
+    work the pool cannot see — results merged in completion order,
+    orphan processes on error, no metrics. Only the
+    ``repro/parallel/`` package may touch the primitives; everywhere
+    else submit :class:`SearchJob` batches, or carry a
+    ``# lint: disable=raw-multiprocessing`` justification.
+    """
+
+    rule_id = "raw-multiprocessing"
+    severity = Severity.ERROR
+    description = (
+        "multiprocessing/concurrent.futures/os.fork in src/repro outside "
+        "repro.parallel"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    _MODULES = frozenset({"multiprocessing", "concurrent"})
+    _FORK_CALLS = frozenset({"os.fork", "os.forkpty"})
+
+    def check(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            else:
+                names = [node.module] if node.module else []
+            for name in names:
+                if name.split(".")[0] in self._MODULES:
+                    yield self.finding(
+                        node,
+                        ctx,
+                        f"import of {name!r} outside repro.parallel bypasses "
+                        "the WorkerPool's deterministic merge and failure "
+                        "handling; submit SearchJobs instead",
+                    )
+            return
+        dotted = _dotted_name(node.func)
+        if dotted in self._FORK_CALLS:
+            yield self.finding(
+                node,
+                ctx,
+                f"{dotted}() forks a process outside repro.parallel; route "
+                "the work through a WorkerPool so the determinism and "
+                "retry contracts apply",
+            )
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        """True inside ``repro`` except the ``parallel`` package."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = tuple(parts[len(parts) - parts[::-1].index("repro"):])
+        return not (rest and rest[0] == "parallel")
+
+
 class NakedPrintRule(Rule):
     """``print()`` in library code instead of structured output.
 
@@ -870,6 +935,7 @@ CORE_RULES: tuple[type[Rule], ...] = (
     MutableDefaultArgRule,
     AdHocTimingRule,
     BufferedScatterRule,
+    RawMultiprocessingRule,
     NakedPrintRule,
     UncheckedNanSourceRule,
     MissingOpScopeRule,

@@ -4,6 +4,7 @@ Commands
 --------
 ``stats``            print the Table IV/V dataset statistics
 ``search``           run SANE on one dataset, print the architecture
+``sweep``            multi-dataset/method search sweep on a worker pool
 ``baseline``         train a named human baseline on one dataset
 ``table``            regenerate a paper table (6/7/8/9/10)
 ``figure``           regenerate a paper figure (2/3/4a/4b)
@@ -59,6 +60,7 @@ from repro.experiments import (
     run_table10,
 )
 from repro.graph.datasets import ALL_DATASETS, load_dataset
+from repro.parallel.sweep import SWEEP_METHODS, run_sweep
 from repro.obs import (
     InMemorySink,
     JsonlSink,
@@ -158,6 +160,39 @@ def build_parser() -> argparse.ArgumentParser:
         "with op/edge/layer/epoch provenance, 'warn' records anomalies "
         "and reports at the end, 'off' (default) installs nothing",
     )
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for search seeds/probes/retrains "
+        "(0/1 = in-process; any count yields identical results)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", help="multi-dataset/method search sweep on a worker pool"
+    )
+    sweep.add_argument("datasets", nargs="+", choices=ALL_DATASETS)
+    sweep.add_argument(
+        "--methods",
+        nargs="+",
+        choices=SWEEP_METHODS,
+        default=["sane", "random", "graphnas"],
+        help="search methods per dataset (default: sane random graphnas)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes shared by every cell's job waves "
+        "(0/1 = in-process; the digest is identical at any count)",
+    )
+    sweep.add_argument(
+        "--rollout-batch",
+        type=int,
+        default=1,
+        help="candidates per round for the adaptive methods (batched-BO "
+        "semantics when > 1; 1 = the sequential algorithm)",
+    )
 
     baseline = commands.add_parser("baseline", help="train a human baseline")
     baseline.add_argument("name", help="e.g. gcn, gat-jk, lgcn")
@@ -168,10 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument(
         "--datasets", nargs="*", default=None, help="restrict to these datasets"
     )
+    table.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for per-cell search jobs (table 7 only)",
+    )
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=sorted(_FIGURE_RUNNERS))
     figure.add_argument("--datasets", nargs="*", default=None)
+    figure.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for per-cell search jobs (figure 3 only)",
+    )
 
     lint = commands.add_parser(
         "lint", help="static analysis enforcing autograd/NAS invariants"
@@ -449,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     _add_common_options(
-        stats, search, baseline, table, figure, lint, check, profile,
+        stats, search, sweep, baseline, table, figure, lint, check, profile,
         report, report_run, report_diff, report_memory, report_serve,
         report_bench,
         export, export_search_p, export_baseline_p, export_kg_p, serve,
@@ -533,10 +580,12 @@ def main(argv: list[str] | None = None) -> int:
                     return run_sane(
                         data, scale, seed=args.seed,
                         num_layers=args.layers, epsilon=args.epsilon,
+                        workers=args.workers,
                     )
             return run_sane(
                 data, scale, seed=args.seed,
                 num_layers=args.layers, epsilon=args.epsilon,
+                workers=args.workers,
             )
 
         try:
@@ -568,6 +617,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"events:       {args.events} (render with `repro report run`)")
         return 0
 
+    if args.command == "sweep":
+        result = run_sweep(
+            args.datasets,
+            scale,
+            seed=args.seed,
+            methods=tuple(args.methods),
+            workers=args.workers,
+            rollout_batch=args.rollout_batch,
+        )
+        print(result.render())
+        return 0
+
     if args.command == "baseline":
         data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
         scores = run_human_baseline(args.name, data, scale, seed=args.seed)
@@ -579,6 +640,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {"seed": args.seed}
         if args.datasets and args.number in ("6", "7", "9", "10"):
             kwargs["datasets"] = tuple(args.datasets)
+        if args.workers and args.number == "7":
+            kwargs["workers"] = args.workers
         print(runner(scale, **kwargs).render())
         return 0
 
@@ -587,6 +650,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {"seed": args.seed}
         if args.datasets:
             kwargs["datasets"] = tuple(args.datasets)
+        if args.workers and args.number == "3":
+            kwargs["workers"] = args.workers
         print(runner(scale, **kwargs).render())
         return 0
 

@@ -6,6 +6,9 @@ snapshots at a few checkpoints, derive the architecture each snapshot
 implies and retrain it — giving the anytime curve of the one-shot
 search. Expected shape: the SANE curve reaches its plateau one to two
 orders of magnitude earlier on the time axis.
+
+Each (dataset, method) curve is an independent :class:`SearchJob`, so
+``workers > 1`` regenerates the figure's cells concurrently.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.nas.evaluation import ArchitectureEvaluator
 from repro.nas.graphnas import graphnas_search
 from repro.nas.random_search import random_search
 from repro.nas.tpe import tpe_search
+from repro.parallel import SearchJob, WorkerPool
 
 __all__ = ["Figure3Result", "run_figure3"]
 
@@ -57,74 +61,109 @@ class Figure3Result:
         return "\n".join(parts)
 
 
+def _figure3_cell(
+    method: str,
+    dataset: str,
+    scale: Scale,
+    seed: int,
+    num_sane_checkpoints: int = 4,
+) -> list[tuple[float, float]]:
+    """One Figure 3 curve — the (dataset, method) cell job body.
+
+    Every evaluator, sampler and searcher is seeded ``seed``, as in
+    the original sequential loop.
+    """
+    data = load_dataset(dataset, seed=seed, scale=scale.dataset_scale)
+    settings = task_settings(data, scale)
+    space = SearchSpace(num_layers=3)
+
+    if method != "sane":
+        evaluator = ArchitectureEvaluator(
+            sane_decision_space(space),
+            data,
+            train_config=settings.train_config,
+            hidden_dim=scale.hidden_dim,
+            dropout=settings.dropout,
+            seed=seed,
+        )
+        if method == "random":
+            outcome = random_search(evaluator, scale.nas_candidates, seed=seed)
+        elif method == "bayesian":
+            outcome = tpe_search(evaluator, scale.nas_candidates, seed=seed)
+        else:
+            outcome = graphnas_search(
+                evaluator, scale.nas_candidates, seed=seed, num_final_samples=1
+            )
+        return [(float(t), float(s)) for t, s in outcome.trajectory]
+
+    # SANE anytime curve: derive + retrain at alpha checkpoints.
+    searcher = SaneSearcher(
+        space,
+        data,
+        SearchConfig(
+            epochs=scale.search_epochs, hidden_dim=scale.search_hidden_dim
+        ),
+        seed=seed,
+    )
+    result = searcher.search()
+    epochs = len(result.alpha_snapshots)
+    checkpoints = sorted(
+        {
+            max(0, round(epochs * fraction) - 1)
+            for fraction in np.linspace(
+                1.0 / num_sane_checkpoints, 1.0, num_sane_checkpoints
+            )
+        }
+    )
+    series = []
+    rng = np.random.default_rng(seed)
+    for checkpoint in checkpoints:
+        arch = derive_from_alphas(space, result.alpha_snapshots[checkpoint], rng)
+        probe = retrain(
+            arch,
+            data,
+            seed=seed,
+            hidden_dim=scale.hidden_dim,
+            dropout=settings.dropout,
+            activation=settings.activation,
+            train_config=settings.train_config,
+        )
+        elapsed = result.history[checkpoint][0]
+        series.append((float(elapsed), float(probe.test_score)))
+    return series
+
+
 def run_figure3(
     scale: Scale,
     datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
     seed: int = 0,
     num_sane_checkpoints: int = 4,
+    workers: int = 0,
 ) -> Figure3Result:
     """Regenerate the Figure 3 trajectories."""
+    methods = ("random", "bayesian", "graphnas", "sane")
+    cells = [
+        (method, dataset) for dataset in datasets for method in methods
+    ]
+    with WorkerPool(workers=workers) as pool:
+        curves = pool.run(
+            SearchJob(
+                job_id=position,
+                fn="repro.experiments.figure3:_figure3_cell",
+                kwargs=dict(
+                    method=method,
+                    dataset=dataset,
+                    scale=scale,
+                    seed=seed,
+                    num_sane_checkpoints=num_sane_checkpoints,
+                ),
+                tag=f"figure3-{dataset}-{method}",
+            )
+            for position, (method, dataset) in enumerate(cells)
+        )
     trajectories: dict[str, dict[str, list[tuple[float, float]]]] = {}
-    space = SearchSpace(num_layers=3)
-    for dataset_name in datasets:
-        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
-        settings = task_settings(data, scale)
-        dspace = sane_decision_space(space)
-        by_method: dict[str, list[tuple[float, float]]] = {}
-
-        for method, searcher in (
-            ("random", random_search),
-            ("bayesian", tpe_search),
-            ("graphnas", graphnas_search),
-        ):
-            evaluator = ArchitectureEvaluator(
-                dspace,
-                data,
-                train_config=settings.train_config,
-                hidden_dim=scale.hidden_dim,
-                dropout=settings.dropout,
-                seed=seed,
-            )
-            if method == "graphnas":
-                outcome = searcher(
-                    evaluator, scale.nas_candidates, seed=seed, num_final_samples=1
-                )
-            else:
-                outcome = searcher(evaluator, scale.nas_candidates, seed=seed)
-            by_method[method] = outcome.trajectory
-
-        # SANE anytime curve: derive + retrain at alpha checkpoints.
-        searcher = SaneSearcher(
-            space,
-            data,
-            SearchConfig(
-                epochs=scale.search_epochs, hidden_dim=scale.search_hidden_dim
-            ),
-            seed=seed,
-        )
-        result = searcher.search()
-        epochs = len(result.alpha_snapshots)
-        checkpoints = sorted(
-            {
-                max(0, round(epochs * fraction) - 1)
-                for fraction in np.linspace(1.0 / num_sane_checkpoints, 1.0, num_sane_checkpoints)
-            }
-        )
-        series = []
-        rng = np.random.default_rng(seed)
-        for checkpoint in checkpoints:
-            arch = derive_from_alphas(space, result.alpha_snapshots[checkpoint], rng)
-            probe = retrain(
-                arch,
-                data,
-                seed=seed,
-                hidden_dim=scale.hidden_dim,
-                dropout=settings.dropout,
-                activation=settings.activation,
-                train_config=settings.train_config,
-            )
-            elapsed = result.history[checkpoint][0]
-            series.append((elapsed, probe.test_score))
-        by_method["sane"] = series
-        trajectories[dataset_name] = by_method
+    for (method, dataset), series in zip(cells, curves):
+        trajectories.setdefault(dataset, {})[method] = [
+            (t, s) for t, s in series
+        ]
     return Figure3Result(trajectories=trajectories)

@@ -10,6 +10,15 @@ table/figure modules stay declarative:
   top-1 architectures, then multi-seed retraining (Section IV-A3);
 * :func:`run_nas_method` — Random / Bayesian / GraphNAS(-WS) over a
   decision space, then multi-seed retraining of the winner.
+
+``run_sane`` expresses its three stages — search seeds, candidate
+probes, retraining repeats — as :class:`repro.parallel.SearchJob`
+waves executed by a :class:`repro.parallel.WorkerPool`. There is no
+separate sequential loop: ``workers <= 1`` runs the very same job
+bodies in-process in job-id order, and because every job derives its
+seed from its identity (``seed + search_seed`` etc., exactly the
+pre-existing assignments), the output is bit-identical at any worker
+count.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.nas.graphnas import graphnas_search
 from repro.nas.random_search import SearchOutcome, random_search
 from repro.nas.tpe import tpe_search
 from repro.obs import events
+from repro.parallel import SearchJob, WorkerPool
 from repro.train.trainer import TrainConfig, fit
 
 __all__ = [
@@ -128,6 +138,38 @@ class SaneRun:
     search_results: list[SearchResult]  # one per search seed
 
 
+def _sane_search_job(
+    space: SearchSpace,
+    data: Graph | MultiGraphDataset,
+    search_config: SearchConfig,
+    seed: int,
+) -> SearchResult:
+    """One independent supernet search — the body of a search-wave job."""
+    return SaneSearcher(space, data, search_config, seed=seed).search()
+
+
+def _sane_retrain_job(
+    architecture: Architecture,
+    data: Graph | MultiGraphDataset,
+    seed: int,
+    hidden_dim: int,
+    dropout: float,
+    activation: str,
+    train_config: TrainConfig,
+) -> tuple[float, float]:
+    """Retrain one derived architecture; body of probe and repeat jobs."""
+    result = retrain(
+        architecture,
+        data,
+        seed=seed,
+        hidden_dim=hidden_dim,
+        dropout=dropout,
+        activation=activation,
+        train_config=train_config,
+    )
+    return float(result.val_score), float(result.test_score)
+
+
 def run_sane(
     data: Graph | MultiGraphDataset,
     scale: Scale,
@@ -135,8 +177,17 @@ def run_sane(
     num_layers: int = 3,
     epsilon: float = 0.0,
     space: SearchSpace | None = None,
+    workers: int = 0,
+    pool: WorkerPool | None = None,
 ) -> SaneRun:
-    """Full SANE pipeline (Section IV-A3 protocol)."""
+    """Full SANE pipeline (Section IV-A3 protocol).
+
+    The three stages run as job waves on ``pool`` (or an ephemeral
+    pool with ``workers`` processes): independent searches, candidate
+    probes, retraining repeats. Each job's seed is a function of its
+    identity alone, and the pool merges by job id, so any worker
+    count produces the same :class:`SaneRun` bit for bit.
+    """
     space = space or SearchSpace(num_layers=num_layers)
     settings = task_settings(data, scale)
     search_config = SearchConfig(
@@ -144,63 +195,96 @@ def run_sane(
         hidden_dim=scale.search_hidden_dim,
         epsilon=epsilon,
     )
-
-    # Run the search `search_seeds` times. Algorithm 1 retains the
-    # top-k strongest operations; we probe the top-2 architectures of
-    # each supernet (k=1 plus the runner-up) and keep the best by
-    # validation — the paper's protocol with a slightly wider net.
-    # `search_results` keeps exactly one entry per search seed even
-    # though each seed probes multiple candidate architectures.
-    candidates: list[tuple[float, Architecture]] = []
-    search_results: list[SearchResult] = []
-    for search_seed in range(scale.search_seeds):
-        searcher = SaneSearcher(space, data, search_config, seed=seed + search_seed)
-        result = searcher.search()
-        search_results.append(result)
-        probed: set[Architecture] = set()
-        for arch in result.supernet.derive_topk(2):
-            if arch in probed:
-                continue
-            probed.add(arch)
-            probe = retrain(
-                arch,
-                data,
-                seed=seed,
-                hidden_dim=scale.hidden_dim,
-                dropout=settings.dropout,
-                activation=settings.activation,
-                train_config=settings.train_config,
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers=workers)
+    try:
+        # Wave 1 — run the search `search_seeds` times.
+        search_results: list[SearchResult] = pool.run(
+            SearchJob(
+                job_id=search_seed,
+                fn="repro.experiments.runners:_sane_search_job",
+                kwargs=dict(
+                    space=space,
+                    data=data,
+                    search_config=search_config,
+                    seed=seed + search_seed,
+                ),
+                tag=f"sane-search-{seed + search_seed}",
             )
-            candidates.append((probe.val_score, arch))
+            for search_seed in range(scale.search_seeds)
+        )
+
+        # Wave 2 — probe candidates. Algorithm 1 retains the top-k
+        # strongest operations; we probe the top-2 architectures of
+        # each supernet (k=1 plus the runner-up) and keep the best by
+        # validation — the paper's protocol with a slightly wider net.
+        probes: list[tuple[int, Architecture]] = []
+        for search_seed, result in enumerate(search_results):
+            probed: set[Architecture] = set()
+            for arch in result.supernet.derive_topk(2):
+                if arch in probed:
+                    continue
+                probed.add(arch)
+                probes.append((search_seed, arch))
+        probe_scores = pool.run(
+            SearchJob(
+                job_id=position,
+                fn="repro.experiments.runners:_sane_retrain_job",
+                kwargs=dict(
+                    architecture=arch,
+                    data=data,
+                    seed=seed,
+                    hidden_dim=scale.hidden_dim,
+                    dropout=settings.dropout,
+                    activation=settings.activation,
+                    train_config=settings.train_config,
+                ),
+                tag=f"sane-probe-{position}",
+            )
+            for position, (__, arch) in enumerate(probes)
+        )
+        candidates: list[tuple[float, Architecture]] = []
+        for (search_seed, arch), (val_score, test_score) in zip(probes, probe_scores):
+            candidates.append((val_score, arch))
             events.emit(
                 "candidate_probe",
                 search_seed=seed + search_seed,
                 architecture=str(arch),
-                val_score=probe.val_score,
-                test_score=probe.test_score,
+                val_score=val_score,
+                test_score=test_score,
             )
-    candidates.sort(key=lambda item: -item[0])
-    best_arch = candidates[0][1]
-    events.emit(
-        "sane_selected",
-        architecture=str(best_arch),
-        val_score=candidates[0][0],
-        candidates=len(candidates),
-    )
-
-    val_scores, test_scores = [], []
-    for repeat in range(scale.repeats):
-        result = retrain(
-            best_arch,
-            data,
-            seed=seed + repeat,
-            hidden_dim=scale.hidden_dim,
-            dropout=settings.dropout,
-            activation=settings.activation,
-            train_config=settings.train_config,
+        candidates.sort(key=lambda item: -item[0])
+        best_arch = candidates[0][1]
+        events.emit(
+            "sane_selected",
+            architecture=str(best_arch),
+            val_score=candidates[0][0],
+            candidates=len(candidates),
         )
-        val_scores.append(result.val_score)
-        test_scores.append(result.test_score)
+
+        # Wave 3 — retrain the winner `repeats` times.
+        repeat_scores = pool.run(
+            SearchJob(
+                job_id=repeat,
+                fn="repro.experiments.runners:_sane_retrain_job",
+                kwargs=dict(
+                    architecture=best_arch,
+                    data=data,
+                    seed=seed + repeat,
+                    hidden_dim=scale.hidden_dim,
+                    dropout=settings.dropout,
+                    activation=settings.activation,
+                    train_config=settings.train_config,
+                ),
+                tag=f"sane-retrain-{seed + repeat}",
+            )
+            for repeat in range(scale.repeats)
+        )
+    finally:
+        if own_pool:
+            pool.shutdown()
+    val_scores = [val for val, __ in repeat_scores]
+    test_scores = [test for __, test in repeat_scores]
     return SaneRun(
         architecture=best_arch,
         test_scores=test_scores,
@@ -225,8 +309,19 @@ def run_nas_method(
     seed: int = 0,
     space: DecisionSpace | None = None,
     num_layers: int = 3,
+    rollout_batch: int = 1,
+    workers: int = 0,
+    pool: WorkerPool | None = None,
 ) -> NasRun:
-    """Run one trial-and-error baseline and retrain its winner."""
+    """Run one trial-and-error baseline and retrain its winner.
+
+    ``workers``/``pool`` parallelise candidate training. Random search
+    fans out its whole (feedback-free) budget; Bayesian and GraphNAS
+    evaluate ``rollout_batch`` proposals per round. ``rollout_batch``
+    changes which candidates the adaptive methods propose (batched BO
+    semantics) — at ``rollout_batch=1`` results are bit-identical to
+    the sequential algorithm at any worker count.
+    """
     if method not in NAS_METHODS:
         raise ValueError(f"unknown NAS method {method!r}; choose from {NAS_METHODS}")
     space = space or sane_decision_space(SearchSpace(num_layers=num_layers))
@@ -241,17 +336,33 @@ def run_nas_method(
         weight_sharing=(method == "graphnas-ws"),
         ws_epochs=scale.ws_epochs,
     )
-    if method == "random":
-        outcome = random_search(evaluator, scale.nas_candidates, seed=seed)
-    elif method == "bayesian":
-        outcome = tpe_search(evaluator, scale.nas_candidates, seed=seed)
-    else:
-        outcome = graphnas_search(
-            evaluator,
-            scale.nas_candidates,
-            seed=seed,
-            num_final_samples=max(2, scale.nas_candidates // 3),
-        )
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers=workers)
+    try:
+        if method == "random":
+            outcome = random_search(
+                evaluator, scale.nas_candidates, seed=seed, pool=pool
+            )
+        elif method == "bayesian":
+            outcome = tpe_search(
+                evaluator,
+                scale.nas_candidates,
+                seed=seed,
+                batch=rollout_batch,
+                pool=pool,
+            )
+        else:
+            outcome = graphnas_search(
+                evaluator,
+                scale.nas_candidates,
+                seed=seed,
+                num_final_samples=max(2, scale.nas_candidates // 3),
+                rollout_batch=rollout_batch,
+                pool=pool,
+            )
+    finally:
+        if own_pool:
+            pool.shutdown()
 
     decoded = space.decode(outcome.best.indices)
     test_scores = []

@@ -6,6 +6,11 @@ evaluations for Random/Bayesian/GraphNAS) and reports SANE two orders
 of magnitude faster. We use ``scale.nas_candidates`` /
 ``scale.search_epochs`` as the budgets; the expected *shape* is the
 large multiplicative gap, not the absolute seconds.
+
+Each (dataset, method) cell is an independent :class:`SearchJob` —
+``workers > 1`` times the cells concurrently (each cell's clock still
+measures only its own search, so the reported seconds are comparable
+to the sequential run's).
 """
 
 from __future__ import annotations
@@ -23,8 +28,11 @@ from repro.nas.evaluation import ArchitectureEvaluator
 from repro.nas.graphnas import graphnas_search
 from repro.nas.random_search import random_search
 from repro.nas.tpe import tpe_search
+from repro.parallel import SearchJob, WorkerPool
 
 __all__ = ["Table7Result", "run_table7"]
+
+_METHODS = ("random", "bayesian", "graphnas", "sane")
 
 
 @dataclasses.dataclass
@@ -56,43 +64,16 @@ class Table7Result:
         )
 
 
-def run_table7(
-    scale: Scale,
-    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
-    seed: int = 0,
-) -> Table7Result:
-    """Time one search run of every method on every dataset."""
-    times: dict[str, dict[str, float]] = {
-        m: {} for m in ("random", "bayesian", "graphnas", "sane")
-    }
+def _table7_cell(method: str, dataset: str, scale: Scale, seed: int) -> float:
+    """Time one search of ``method`` on ``dataset``; the cell job body.
+
+    Seed assignments are the table's original ones: the random/TPE/
+    GraphNAS evaluators get ``seed``/``seed + 1``/``seed + 2``, the
+    samplers and SANE get ``seed``.
+    """
+    data = load_dataset(dataset, seed=seed, scale=scale.dataset_scale)
     space = SearchSpace(num_layers=3)
-    for dataset_name in datasets:
-        data = load_dataset(dataset_name, seed=seed, scale=scale.dataset_scale)
-        settings = task_settings(data, scale)
-        dspace = sane_decision_space(space)
-
-        def evaluator(method_seed: int) -> ArchitectureEvaluator:
-            return ArchitectureEvaluator(
-                dspace,
-                data,
-                train_config=settings.train_config,
-                hidden_dim=scale.hidden_dim,
-                dropout=settings.dropout,
-                seed=method_seed,
-            )
-
-        outcome = random_search(evaluator(seed), scale.nas_candidates, seed=seed)
-        times["random"][dataset_name] = outcome.search_time
-        outcome = tpe_search(evaluator(seed + 1), scale.nas_candidates, seed=seed)
-        times["bayesian"][dataset_name] = outcome.search_time
-        outcome = graphnas_search(
-            evaluator(seed + 2),
-            scale.nas_candidates,
-            seed=seed,
-            num_final_samples=1,
-        )
-        times["graphnas"][dataset_name] = outcome.search_time
-
+    if method == "sane":
         searcher = SaneSearcher(
             space,
             data,
@@ -101,5 +82,54 @@ def run_table7(
             ),
             seed=seed,
         )
-        times["sane"][dataset_name] = searcher.search().search_time
+        return float(searcher.search().search_time)
+
+    settings = task_settings(data, scale)
+    evaluator_seed = {"random": seed, "bayesian": seed + 1, "graphnas": seed + 2}
+    evaluator = ArchitectureEvaluator(
+        sane_decision_space(space),
+        data,
+        train_config=settings.train_config,
+        hidden_dim=scale.hidden_dim,
+        dropout=settings.dropout,
+        seed=evaluator_seed[method],
+    )
+    if method == "random":
+        outcome = random_search(evaluator, scale.nas_candidates, seed=seed)
+    elif method == "bayesian":
+        outcome = tpe_search(evaluator, scale.nas_candidates, seed=seed)
+    else:
+        outcome = graphnas_search(
+            evaluator, scale.nas_candidates, seed=seed, num_final_samples=1
+        )
+    return float(outcome.search_time)
+
+
+def run_table7(
+    scale: Scale,
+    datasets: tuple[str, ...] = ("cora", "citeseer", "pubmed", "ppi"),
+    seed: int = 0,
+    workers: int = 0,
+) -> Table7Result:
+    """Time one search run of every method on every dataset."""
+    cells = [
+        (method, dataset)
+        for dataset in datasets
+        for method in _METHODS
+    ]
+    with WorkerPool(workers=workers) as pool:
+        seconds = pool.run(
+            SearchJob(
+                job_id=position,
+                fn="repro.experiments.table7:_table7_cell",
+                kwargs=dict(
+                    method=method, dataset=dataset, scale=scale, seed=seed
+                ),
+                tag=f"table7-{dataset}-{method}",
+            )
+            for position, (method, dataset) in enumerate(cells)
+        )
+    times: dict[str, dict[str, float]] = {m: {} for m in _METHODS}
+    for (method, dataset), cell_seconds in zip(cells, seconds):
+        times[method][dataset] = cell_seconds
     return Table7Result(times=times)

@@ -25,6 +25,9 @@ from repro.core.search_space import Architecture, SearchSpace
 __all__ = [
     "Decision",
     "DecisionSpace",
+    "SaneDecoder",
+    "GraphNasDecoder",
+    "MlpDecoder",
     "sane_decision_space",
     "graphnas_decision_space",
     "mlp_decision_space",
@@ -92,6 +95,71 @@ class DecisionSpace:
         )
 
 
+# ---------------------------------------------------------------------
+# Decoders are module-level callable dataclasses, not closures: a
+# DecisionSpace travels inside SearchJob payloads to spawn workers
+# (repro.parallel), and closures do not pickle. Consumers may still
+# pass any callable as `decoder` (tests use plain lambdas for
+# in-process spaces).
+# ---------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SaneDecoder:
+    """Decode a SANE assignment into an :class:`Architecture`."""
+
+    num_layers: int
+
+    def __call__(self, assignment: dict) -> Architecture:
+        return Architecture(
+            node_aggregators=tuple(
+                assignment[f"node_{layer}"] for layer in range(self.num_layers)
+            ),
+            skip_connections=tuple(
+                assignment[f"skip_{layer}"] for layer in range(self.num_layers)
+            ),
+            layer_aggregator=assignment["layer_agg"],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphNasDecoder:
+    """Decode a GraphNAS assignment into a model-spec dict."""
+
+    num_layers: int
+
+    def __call__(self, assignment: dict) -> dict:
+        return {
+            "node_aggregators": [
+                assignment[f"agg_{layer}"] for layer in range(self.num_layers)
+            ],
+            "activations": [
+                assignment[f"act_{layer}"] for layer in range(self.num_layers)
+            ],
+            "heads": [
+                assignment[f"heads_{layer}"] for layer in range(self.num_layers)
+            ],
+            "hidden_dims": [
+                assignment[f"hidden_{layer}"] for layer in range(self.num_layers)
+            ],
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class MlpDecoder:
+    """Decode a Table X assignment into per-layer (width, depth) pairs."""
+
+    num_layers: int
+
+    def __call__(self, assignment: dict) -> dict:
+        return {
+            "mlp_layers": [
+                (assignment[f"width_{layer}"], assignment[f"depth_{layer}"])
+                for layer in range(self.num_layers)
+            ]
+        }
+
+
 def sane_decision_space(space: SearchSpace) -> DecisionSpace:
     """Flatten a :class:`SearchSpace` into 2K+1 categorical decisions."""
     decisions = []
@@ -100,19 +168,9 @@ def sane_decision_space(space: SearchSpace) -> DecisionSpace:
     for layer in range(space.num_layers):
         decisions.append(Decision(f"skip_{layer}", space.skip_ops))
     decisions.append(Decision("layer_agg", space.layer_ops))
-
-    def decoder(assignment: dict) -> Architecture:
-        return Architecture(
-            node_aggregators=tuple(
-                assignment[f"node_{layer}"] for layer in range(space.num_layers)
-            ),
-            skip_connections=tuple(
-                assignment[f"skip_{layer}"] for layer in range(space.num_layers)
-            ),
-            layer_aggregator=assignment["layer_agg"],
-        )
-
-    return DecisionSpace(decisions, decoder, name="sane")
+    return DecisionSpace(
+        decisions, SaneDecoder(space.num_layers), name="sane"
+    )
 
 
 def graphnas_decision_space(num_layers: int = 3) -> DecisionSpace:
@@ -131,22 +189,7 @@ def graphnas_decision_space(num_layers: int = 3) -> DecisionSpace:
         decisions.append(Decision(f"act_{layer}", GRAPHNAS_ACTIVATIONS))
         decisions.append(Decision(f"heads_{layer}", GRAPHNAS_HEADS))
         decisions.append(Decision(f"hidden_{layer}", GRAPHNAS_HIDDEN))
-
-    def decoder(assignment: dict) -> dict:
-        return {
-            "node_aggregators": [
-                assignment[f"agg_{layer}"] for layer in range(num_layers)
-            ],
-            "activations": [
-                assignment[f"act_{layer}"] for layer in range(num_layers)
-            ],
-            "heads": [assignment[f"heads_{layer}"] for layer in range(num_layers)],
-            "hidden_dims": [
-                assignment[f"hidden_{layer}"] for layer in range(num_layers)
-            ],
-        }
-
-    return DecisionSpace(decisions, decoder, name="graphnas")
+    return DecisionSpace(decisions, GraphNasDecoder(num_layers), name="graphnas")
 
 
 def mlp_decision_space(num_layers: int = 3) -> DecisionSpace:
@@ -161,13 +204,4 @@ def mlp_decision_space(num_layers: int = 3) -> DecisionSpace:
     for layer in range(num_layers):
         decisions.append(Decision(f"width_{layer}", MLP_WIDTHS))
         decisions.append(Decision(f"depth_{layer}", MLP_DEPTHS))
-
-    def decoder(assignment: dict) -> dict:
-        return {
-            "mlp_layers": [
-                (assignment[f"width_{layer}"], assignment[f"depth_{layer}"])
-                for layer in range(num_layers)
-            ]
-        }
-
-    return DecisionSpace(decisions, decoder, name="mlp")
+    return DecisionSpace(decisions, MlpDecoder(num_layers), name="mlp")

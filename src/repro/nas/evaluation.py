@@ -6,6 +6,18 @@ with shared weights), read its validation score. The
 :class:`ArchitectureEvaluator` centralises that loop, records the
 (time, best-so-far test score) trajectory behind Figure 3, and counts
 wall-clock for Table VII.
+
+Parallel evaluation: the from-scratch training of candidate ``k`` is
+a pure function of ``(space, data, indices, build_seed, config)``, so
+:func:`train_candidate` is module-level and picklable — the
+:class:`repro.parallel.WorkerPool` ships it to spawn workers, and
+:meth:`ArchitectureEvaluator.evaluate_batch` merges the scores back
+in sample order. Build seeds derive from ``(evaluator seed, trial
+index)`` rather than a shared RNG stream, which is what makes the
+scores independent of execution order and therefore bit-identical
+between the sequential and parallel paths. Weight sharing
+(GraphNAS-WS) mutates a candidate-order-dependent bank, so the WS
+variant always evaluates sequentially.
 """
 
 from __future__ import annotations
@@ -21,9 +33,15 @@ from repro.gnn.models import GNNModel
 from repro.graph.data import Graph, MultiGraphDataset
 from repro.nas.encoding import DecisionSpace
 from repro.nn.module import Module
+from repro.parallel import SearchJob, derive_seed
 from repro.train.trainer import TrainConfig, fit
 
-__all__ = ["EvaluationRecord", "ArchitectureEvaluator", "build_spec_model"]
+__all__ = [
+    "EvaluationRecord",
+    "ArchitectureEvaluator",
+    "build_spec_model",
+    "train_candidate",
+]
 
 
 def build_spec_model(
@@ -52,6 +70,70 @@ def build_spec_model(
     )
 
 
+def _build_model(
+    decoded,
+    data: Graph | MultiGraphDataset,
+    rng: np.random.Generator,
+    hidden_dim: int,
+    dropout: float,
+) -> Module:
+    """Instantiate whatever object a decision space decoded to."""
+    if isinstance(decoded, Architecture):
+        return architecture_to_model(
+            decoded,
+            in_dim=data.num_features,
+            num_classes=data.num_classes,
+            rng=rng,
+            hidden_dim=hidden_dim,
+            dropout=dropout,
+        )
+    if "mlp_layers" in decoded:
+        from repro.gnn.mlp_aggregator import MLPGNNModel
+
+        return MLPGNNModel(
+            in_dim=data.num_features,
+            hidden_dim=hidden_dim,
+            num_classes=data.num_classes,
+            layer_specs=decoded["mlp_layers"],
+            rng=rng,
+            dropout=dropout,
+        )
+    return build_spec_model(
+        decoded,
+        in_dim=data.num_features,
+        num_classes=data.num_classes,
+        rng=rng,
+        dropout=dropout,
+    )
+
+
+def train_candidate(
+    space: DecisionSpace,
+    data: Graph | MultiGraphDataset,
+    indices: tuple[int, ...],
+    build_seed: int,
+    train_config: TrainConfig,
+    hidden_dim: int = 32,
+    dropout: float = 0.5,
+) -> tuple[float, float]:
+    """Train one from-scratch candidate; return (val, test) scores.
+
+    Module-level and argument-pure so it doubles as a
+    :class:`repro.parallel.SearchJob` body — both the sequential
+    :meth:`ArchitectureEvaluator.evaluate` and the worker processes
+    run exactly this code.
+    """
+    indices = tuple(indices)
+    with obs.span("candidate", indices=list(indices)):
+        decoded = space.decode(indices)
+        model = _build_model(
+            decoded, data, np.random.default_rng(build_seed),
+            hidden_dim, dropout,
+        )
+        result = fit(model, data, train_config)
+    return float(result.val_score), float(result.test_score)
+
+
 @dataclasses.dataclass
 class EvaluationRecord:
     """One candidate evaluation."""
@@ -67,9 +149,15 @@ class ArchitectureEvaluator:
 
     Candidates decoding to :class:`Architecture` are instantiated via
     :func:`architecture_to_model`; dict specs via
-    :func:`build_spec_model`. ``shared_state`` enables the GraphNAS-WS
-    behaviour: per-position op weights persist across candidates and
-    each candidate trains only a short adaptation schedule.
+    :func:`build_spec_model`. ``weight_sharing`` enables the
+    GraphNAS-WS behaviour: per-position op weights persist across
+    candidates and each candidate trains only a short adaptation
+    schedule.
+
+    Trial ``k`` builds its model from ``derive_seed(seed, k)`` — a
+    pure function of the trial index, never of a shared RNG's
+    execution order — so a batch fanned out over workers scores
+    bit-identically to the same candidates evaluated one by one.
     """
 
     def __init__(
@@ -88,10 +176,11 @@ class ArchitectureEvaluator:
         self.train_config = train_config or TrainConfig()
         self.hidden_dim = hidden_dim
         self.dropout = dropout
+        self.seed = seed
         self.weight_sharing = weight_sharing
         self.ws_epochs = ws_epochs
-        self._rng = np.random.default_rng(seed)
         self._bank: dict[str, np.ndarray] = {}
+        self._trials = 0  # build-seed indices handed out so far
         self.records: list[EvaluationRecord] = []
         # Detached stopwatch: `elapsed` on every record is "seconds
         # since this evaluator was created" (the Figure 3 x-axis), a
@@ -101,23 +190,91 @@ class ArchitectureEvaluator:
     # ------------------------------------------------------------------
     def evaluate(self, indices: tuple[int, ...]) -> EvaluationRecord:
         """Train the candidate and append its record."""
-        with obs.span("candidate", indices=list(indices)):
-            model = self._build(indices)
-            config = self.train_config
-            if self.weight_sharing:
-                self._load_shared(model, indices)
-                config = config.replace(epochs=self.ws_epochs, patience=self.ws_epochs)
-            result = fit(model, self.data, config)
-            if self.weight_sharing:
-                self._store_shared(model, indices)
+        indices = tuple(indices)
+        trial = self._trials
+        self._trials += 1
+        build_seed = derive_seed(self.seed, trial)
+        if self.weight_sharing:
+            val_score, test_score = self._evaluate_shared(indices, build_seed)
+        else:
+            val_score, test_score = train_candidate(
+                self.space, self.data, indices, build_seed,
+                self.train_config, self.hidden_dim, self.dropout,
+            )
         record = EvaluationRecord(
-            indices=tuple(indices),
-            val_score=result.val_score,
-            test_score=result.test_score,
+            indices=indices,
+            val_score=val_score,
+            test_score=test_score,
             elapsed=self._lifetime.elapsed(),
         )
         self.records.append(record)
         return record
+
+    def evaluate_batch(
+        self, batch: list[tuple[int, ...]], pool=None
+    ) -> list[EvaluationRecord]:
+        """Evaluate candidates, fanning out over ``pool`` when possible.
+
+        Records append in batch order with build seeds assigned by
+        trial index, so the scores — and every downstream decision
+        made from them — match the sequential path exactly. Weight
+        sharing degrades to sequential evaluation (the shared bank is
+        candidate-order-dependent state).
+        """
+        batch = [tuple(indices) for indices in batch]
+        if not batch:
+            return []
+        if pool is None or pool.workers <= 1 or self.weight_sharing:
+            return [self.evaluate(indices) for indices in batch]
+        base = self._trials
+        self._trials += len(batch)
+        jobs = [
+            SearchJob(
+                job_id=position,
+                fn="repro.nas.evaluation:train_candidate",
+                kwargs=dict(
+                    space=self.space,
+                    data=self.data,
+                    indices=batch[position],
+                    build_seed=derive_seed(self.seed, base + position),
+                    train_config=self.train_config,
+                    hidden_dim=self.hidden_dim,
+                    dropout=self.dropout,
+                ),
+                tag=f"candidate-{base + position}",
+            )
+            for position in range(len(batch))
+        ]
+        scores = pool.run(jobs)
+        records = []
+        for indices, (val_score, test_score) in zip(batch, scores):
+            record = EvaluationRecord(
+                indices=indices,
+                val_score=val_score,
+                test_score=test_score,
+                elapsed=self._lifetime.elapsed(),
+            )
+            self.records.append(record)
+            records.append(record)
+        return records
+
+    def _evaluate_shared(
+        self, indices: tuple[int, ...], build_seed: int
+    ) -> tuple[float, float]:
+        """The GraphNAS-WS path: bank restore, short schedule, store."""
+        with obs.span("candidate", indices=list(indices)):
+            decoded = self.space.decode(indices)
+            model = _build_model(
+                decoded, self.data, np.random.default_rng(build_seed),
+                self.hidden_dim, self.dropout,
+            )
+            self._load_shared(model, indices)
+            config = self.train_config.replace(
+                epochs=self.ws_epochs, patience=self.ws_epochs
+            )
+            result = fit(model, self.data, config)
+            self._store_shared(model, indices)
+        return float(result.val_score), float(result.test_score)
 
     @property
     def best_record(self) -> EvaluationRecord:
@@ -136,39 +293,6 @@ class ArchitectureEvaluator:
                 best_test = record.test_score
             points.append((record.elapsed, best_test))
         return points
-
-    # ------------------------------------------------------------------
-    def _build(self, indices: tuple[int, ...]) -> Module:
-        decoded = self.space.decode(indices)
-        seed = int(self._rng.integers(2**31))
-        rng = np.random.default_rng(seed)
-        if isinstance(decoded, Architecture):
-            return architecture_to_model(
-                decoded,
-                in_dim=self.data.num_features,
-                num_classes=self.data.num_classes,
-                rng=rng,
-                hidden_dim=self.hidden_dim,
-                dropout=self.dropout,
-            )
-        if "mlp_layers" in decoded:
-            from repro.gnn.mlp_aggregator import MLPGNNModel
-
-            return MLPGNNModel(
-                in_dim=self.data.num_features,
-                hidden_dim=self.hidden_dim,
-                num_classes=self.data.num_classes,
-                layer_specs=decoded["mlp_layers"],
-                rng=rng,
-                dropout=self.dropout,
-            )
-        return build_spec_model(
-            decoded,
-            in_dim=self.data.num_features,
-            num_classes=self.data.num_classes,
-            rng=rng,
-            dropout=self.dropout,
-        )
 
     # ------------------------------------------------------------------
     # weight sharing (GraphNAS-WS)

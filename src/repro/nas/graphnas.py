@@ -100,6 +100,8 @@ def graphnas_search(
     baseline_decay: float = 0.95,
     num_final_samples: int = 10,
     top_k: int = 5,
+    rollout_batch: int = 1,
+    pool=None,
 ) -> SearchOutcome:  # noqa: D417 — top_k documented below
     """Run the GraphNAS loop for ``num_candidates`` controller steps.
 
@@ -109,25 +111,42 @@ def graphnas_search(
     The final architecture is the best-by-validation among the scores of
     the top ``top_k`` of ``num_final_samples`` fresh controller samples
     (already-evaluated duplicates are looked up, new ones evaluated).
+
+    ``rollout_batch > 1`` samples that many rollouts per round from the
+    round-start policy, trains them together (through ``pool`` when
+    given), then replays the REINFORCE updates one rollout at a time
+    in sample order. The optimiser rebinds parameter arrays rather
+    than mutating them, so each rollout's retained graph still
+    differentiates w.r.t. its own sample-time parameters — the update
+    sequence is the sequential algorithm with delayed rewards.
+    ``rollout_batch=1`` is exactly the classic interleaved loop.
     """
+    if rollout_batch < 1:
+        raise ValueError(f"rollout_batch must be >= 1, got {rollout_batch}")
     rng = np.random.default_rng(seed)
     controller = Controller(evaluator.space, np.random.default_rng(seed + 1))
     optimizer = Adam(controller.parameters(), lr=controller_lr)
     baseline = None
 
-    for __ in range(num_candidates):
-        indices, log_prob, entropy = controller.sample(rng)
-        record = evaluator.evaluate(indices)
-        reward = record.val_score
-        if baseline is None:
-            baseline = reward
-        advantage = reward - baseline
-        baseline = baseline_decay * baseline + (1.0 - baseline_decay) * reward
+    remaining = num_candidates
+    while remaining > 0:
+        width = min(rollout_batch, remaining)
+        remaining -= width
+        rollouts = [controller.sample(rng) for __ in range(width)]
+        batch_records = evaluator.evaluate_batch(
+            [indices for indices, __lp, __ent in rollouts], pool=pool
+        )
+        for (indices, log_prob, entropy), record in zip(rollouts, batch_records):
+            reward = record.val_score
+            if baseline is None:
+                baseline = reward
+            advantage = reward - baseline
+            baseline = baseline_decay * baseline + (1.0 - baseline_decay) * reward
 
-        controller.zero_grad()
-        loss = -(log_prob * advantage) - entropy_weight * entropy
-        loss.backward()
-        optimizer.step()
+            controller.zero_grad()
+            loss = -(log_prob * advantage) - entropy_weight * entropy
+            loss.backward()
+            optimizer.step()
 
     # Final sampling stage (Section IV-A2).
     evaluated = {record.indices: record for record in evaluator.records}
@@ -135,14 +154,17 @@ def graphnas_search(
     for __ in range(num_final_samples):
         indices, __lp, __ent = controller.sample(rng)
         candidates.append(indices)
-    # Keep the top-k by (cached or freshly evaluated) validation score.
-    scored = []
+    # Evaluate cache misses as one batch, first occurrence only — the
+    # same (candidate, trial-index) pairing the sequential lookup-or-
+    # evaluate loop produces, so scores match it bit for bit.
+    misses: list[tuple[int, ...]] = []
     for indices in candidates:
-        record = evaluated.get(tuple(indices))
-        if record is None:
-            record = evaluator.evaluate(indices)
-            evaluated[record.indices] = record
-        scored.append(record)
+        if tuple(indices) not in evaluated and tuple(indices) not in misses:
+            misses.append(tuple(indices))
+    for record in evaluator.evaluate_batch(misses, pool=pool):
+        evaluated[record.indices] = record
+    # Keep the top-k by validation score.
+    scored = [evaluated[tuple(indices)] for indices in candidates]
     scored.sort(key=lambda r: -r.val_score)
     scored = scored[:top_k]
     best = scored[0] if scored else evaluator.best_record

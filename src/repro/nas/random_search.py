@@ -35,14 +35,22 @@ def random_search(
     num_candidates: int,
     seed: int = 0,
     deduplicate: bool = True,
+    pool=None,
 ) -> SearchOutcome:
     """Evaluate ``num_candidates`` uniform samples; return the best.
 
     ``deduplicate`` skips exact repeats (retrying up to 20 times),
     which matters in small spaces like Table X's MLP grid.
+
+    Random search has no feedback loop, so the whole candidate list is
+    drawn up front (the exact RNG draw sequence of the sequential
+    loop) and handed to ``evaluator.evaluate_batch`` — with a
+    :class:`repro.parallel.WorkerPool` every candidate trains
+    concurrently, and the outcome is bit-identical either way.
     """
     rng = np.random.default_rng(seed)
     seen: set[tuple[int, ...]] = set()
+    batch: list[tuple[int, ...]] = []
     for __ in range(num_candidates):
         indices = evaluator.space.sample_indices(rng)
         if deduplicate:
@@ -51,7 +59,8 @@ def random_search(
                     break
                 indices = evaluator.space.sample_indices(rng)
         seen.add(indices)
-        evaluator.evaluate(indices)
+        batch.append(indices)
+    evaluator.evaluate_batch(batch, pool=pool)
     records = evaluator.records
     return SearchOutcome(
         best=evaluator.best_record,

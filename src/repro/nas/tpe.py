@@ -101,14 +101,30 @@ def tpe_search(
     num_candidates: int,
     seed: int = 0,
     gamma: float = 0.25,
+    batch: int = 1,
+    pool=None,
 ) -> SearchOutcome:
-    """Sequential model-based search with TPE proposals."""
+    """Sequential model-based search with TPE proposals.
+
+    ``batch > 1`` proposes that many candidates per round from the
+    *same* posterior, evaluates them together (through ``pool`` when
+    given), and feeds all observations back before the next round —
+    standard synchronous batched BO. ``batch=1`` is exactly the
+    classic sequential loop regardless of ``pool``.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     rng = np.random.default_rng(seed)
     sampler = TPESampler(evaluator.space, rng, gamma=gamma)
-    for __ in range(num_candidates):
-        indices = sampler.propose()
-        record = evaluator.evaluate(indices)
-        sampler.observe(indices, record.val_score)
+    remaining = num_candidates
+    while remaining > 0:
+        width = min(batch, remaining)
+        remaining -= width
+        proposals = [sampler.propose() for __ in range(width)]
+        for indices, record in zip(
+            proposals, evaluator.evaluate_batch(proposals, pool=pool)
+        ):
+            sampler.observe(indices, record.val_score)
     records = evaluator.records
     return SearchOutcome(
         best=evaluator.best_record,

@@ -91,9 +91,10 @@ from repro.obs.serve_report import load_request_trees, render_serve_report
 from repro.obs.search_telemetry import SearchTelemetry
 from repro.obs.session import ProfileSession
 from repro.obs.sinks import TRACE_VERSION, InMemorySink, JsonlSink, read_trace
-from repro.obs.spans import Span, Tracer, get_tracer, span
+from repro.obs.spans import ReplaySpan, Span, Tracer, get_tracer, span
 
 __all__ = [
+    "ReplaySpan",
     "Span",
     "Tracer",
     "get_tracer",

@@ -30,7 +30,7 @@ import threading
 import time
 from typing import Callable, Iterator
 
-__all__ = ["Span", "Tracer", "get_tracer", "span"]
+__all__ = ["ReplaySpan", "Span", "Tracer", "get_tracer", "span"]
 
 
 class Span:
@@ -156,6 +156,35 @@ class Span:
         return f"Span({self.name!r}, {state})"
 
 
+class ReplaySpan:
+    """A finished span re-materialised from its trace record.
+
+    Worker processes ship their spans home as plain dicts (see
+    :meth:`Tracer.adopt`); sinks only ever call ``to_dict()`` on what
+    they receive, so a thin wrapper around the already-serialised
+    record is enough to re-dispatch it through the parent tracer.
+    """
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: dict):
+        self.record = record
+
+    @property
+    def name(self) -> str:
+        return self.record.get("name", "")
+
+    @property
+    def duration(self) -> float:
+        return self.record.get("dur", 0.0)
+
+    def to_dict(self) -> dict:
+        return self.record
+
+    def __repr__(self) -> str:
+        return f"ReplaySpan({self.name!r}, {self.duration:.6f}s)"
+
+
 class Tracer:
     """Produces spans, tracks nesting, and fans finished spans to sinks.
 
@@ -226,11 +255,55 @@ class Tracer:
         for sink in self._sinks:
             sink.record(span)
 
+    def adopt(self, records: list[dict], root_name: str, **attrs) -> None:
+        """Replay span records from another process under a synthetic root.
+
+        The worker pool collects each job's spans in the worker process
+        (as ``to_dict()`` records) and replays them here so per-worker
+        trees land in whatever sinks the parent has attached — the
+        bench summaries and ``repro report`` then show a
+        ``worker-<i>/job/...`` breakdown. Ids are re-allocated from
+        this tracer's counter (worker-local ids would collide across
+        workers), parents are remapped accordingly, orphan records
+        hang off the synthetic root, and times are rebased so the
+        replayed tree ends at the adoption instant on the parent
+        clock. With no sinks attached this is a no-op.
+        """
+        if not records or not self._sinks:
+            return
+        t_last = max(
+            (r["end"] if r.get("end") is not None else r["start"])
+            for r in records
+        )
+        offset = self.clock() - t_last
+        root = Span(self, root_name, "worker", attrs)
+        root.explicit = True
+        root.span_id = self._allocate_id()
+        root.t_start = min(r["start"] for r in records) + offset
+        root.t_end = t_last + offset
+        id_map = {r["id"]: self._allocate_id() for r in records}
+        for record in records:
+            replayed = dict(record)
+            replayed["id"] = id_map[record["id"]]
+            parent = record.get("parent")
+            replayed["parent"] = id_map.get(parent, root.span_id)
+            replayed["depth"] = record.get("depth", 0) + 1
+            replayed["start"] = record["start"] + offset
+            if record.get("end") is not None:
+                replayed["end"] = record["end"] + offset
+            self._dispatch(ReplaySpan(replayed))
+        self._dispatch(root)
+
     # ------------------------------------------------------------------
     @property
     def current(self) -> Span | None:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
+
+    @property
+    def has_sinks(self) -> bool:
+        """True when at least one sink is attached (recording is on)."""
+        return bool(self._sinks)
 
     def add_sink(self, sink) -> None:
         if sink not in self._sinks:

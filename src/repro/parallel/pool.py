@@ -1,0 +1,334 @@
+"""Seeded multi-process worker pool with deterministic merge.
+
+:class:`WorkerPool` executes :class:`SearchJob` batches. At
+``workers <= 1`` it runs jobs in-process, in job-id order, through
+the same :func:`execute_job` path the workers use — no separate
+sequential loop exists anywhere. At ``workers >= 2`` it spawn-starts
+persistent worker processes sharing one task queue and one result
+queue, and merges results **by job id**, so the returned list is
+bit-identical to the in-process run regardless of worker count or
+completion order.
+
+Robustness contract (exercised by ``tests/parallel/``):
+
+* an unpicklable task raises :class:`JobDispatchError` before
+  anything is enqueued;
+* a worker that dies mid-job is detected (liveness poll), its job is
+  retried at most ``max_retries`` times on a replacement worker, then
+  :class:`WorkerCrashError` surfaces;
+* a job exceeding its timeout gets its worker killed and the same
+  bounded retry, then :class:`JobTimeoutError`;
+* a job that raises is retried the same way, then :class:`JobError`
+  carries the remote traceback. In-process mode re-raises the
+  original exception unwrapped (callers like the CLI's
+  ``--check-numerics raise`` depend on catching the real type).
+
+On any fatal error the pool shuts its workers down before raising —
+a failed run never leaves orphan processes or a wedged queue. The
+pool is reusable afterwards (workers respawn lazily).
+
+Telemetry lands in the pool's :class:`MetricsRegistry` (pass the
+bench registry to fold it into a ``BENCH_*.json`` payload):
+``parallel.jobs`` / ``parallel.retries`` / ``parallel.crashes`` /
+``parallel.timeouts`` counters, ``parallel.workers`` /
+``parallel.queue_depth`` / ``parallel.utilization`` /
+``parallel.straggler_s`` gauges. Per-job span trees recorded in the
+workers are replayed under ``worker-<i>`` roots via
+:meth:`Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_module
+
+from repro.autograd import kernels
+from repro.obs import MetricsRegistry, get_tracer
+from repro.parallel.jobs import (
+    JobDispatchError,
+    JobError,
+    JobTimeoutError,
+    SearchJob,
+    WorkerCrashError,
+    execute_job,
+)
+
+__all__ = ["WorkerPool"]
+
+# Idle polls (result queue empty, every worker idle, task queue empty)
+# tolerated before concluding a task was lost to a worker that died
+# between dequeue and its "start" message — a narrow race, but leaving
+# it unhandled would hang the pool forever.
+_ORPHAN_SWEEP_POLLS = 40
+
+
+class WorkerPool:
+    """Executes :class:`SearchJob` batches; see the module docstring."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        max_retries: int = 1,
+        timeout_s: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        poll_s: float = 0.1,
+        backend: str | None = None,
+    ):
+        self.workers = int(workers)
+        self.max_retries = int(max_retries)
+        self.timeout_s = timeout_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.poll_s = poll_s
+        self._backend = backend
+        self._ctx = None
+        self._task_queue = None
+        self._result_queue = None
+        self._procs: dict[int, object] = {}  # worker_id -> Process
+        self._next_worker_id = 0
+
+    # ------------------------------------------------------------------
+    def run(self, jobs) -> list:
+        """Execute ``jobs``; return results aligned with the input order.
+
+        Results are merged by job id, so the output is a pure function
+        of the job list — never of scheduling.
+        """
+        jobs = list(jobs)
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate job ids in batch: {sorted(ids)}")
+        self.metrics.gauge("parallel.workers").set(max(1, self.workers))
+        if not jobs:
+            return []
+        if self.workers <= 1:
+            return self._run_inline(jobs)
+        return self._run_parallel(jobs)
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, jobs: list[SearchJob]) -> list:
+        """In-process fallback: same job bodies, job-id order."""
+        depth = self.metrics.gauge("parallel.queue_depth")
+        done = self.metrics.counter("parallel.jobs")
+        results = {}
+        ordered = sorted(jobs, key=lambda job: job.job_id)
+        for position, job in enumerate(ordered):
+            depth.set(len(ordered) - position)
+            results[job.job_id] = execute_job(job)
+            done.inc()
+        depth.set(0)
+        self.metrics.gauge("parallel.utilization").set(1.0)
+        self.metrics.gauge("parallel.straggler_s").set(0.0)
+        return [results[job.job_id] for job in jobs]
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, jobs: list[SearchJob]) -> list:
+        clock = get_tracer().clock
+        by_id = {job.job_id: job for job in jobs}
+        payloads = {}
+        for job in jobs:
+            try:
+                payloads[job.job_id] = pickle.dumps(job)
+            except Exception as exc:
+                raise JobDispatchError(
+                    f"job {job.job_id} ({job.tag or 'untagged'}) is not "
+                    f"picklable and cannot be dispatched: {exc}"
+                ) from exc
+
+        self._ensure_workers()
+        pending = set(by_id)
+        failures = {job_id: 0 for job_id in by_id}
+        inflight: dict[int, tuple[int, int, float]] = {}  # wid -> (jid, attempt, t0)
+        results: dict[int, object] = {}
+        finish_times: list[float] = []
+        busy_s = 0.0
+        idle_polls = 0
+        t_run = clock()
+
+        depth = self.metrics.gauge("parallel.queue_depth")
+        for job_id in sorted(pending):
+            self._task_queue.put((job_id, 0, payloads[job_id]))
+        depth.set(len(pending))
+
+        def fail(error):
+            self.shutdown()
+            raise error
+
+        def retry(job_id: int) -> bool:
+            failures[job_id] += 1
+            if failures[job_id] > self.max_retries:
+                return False
+            self.metrics.counter("parallel.retries").inc()
+            self._task_queue.put(
+                (job_id, failures[job_id], payloads[job_id])
+            )
+            return True
+
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=self.poll_s)
+            except queue_module.Empty:
+                message = None
+
+            if message is not None:
+                idle_polls = 0
+                kind, job_id = message[0], message[1]
+                if kind == "start":
+                    __, __, attempt, worker_id = message
+                    if job_id in pending:
+                        inflight[worker_id] = (job_id, attempt, clock())
+                elif kind == "ok":
+                    __, __, attempt, worker_id, blob, records = message
+                    inflight.pop(worker_id, None)
+                    if job_id in pending:
+                        results[job_id] = pickle.loads(blob)
+                        pending.discard(job_id)
+                        finish_times.append(clock())
+                        self.metrics.counter("parallel.jobs").inc()
+                        busy_s += self._adopt_spans(
+                            worker_id, by_id[job_id], records
+                        )
+                elif kind == "error":
+                    __, __, attempt, worker_id, etype, msg, tb = message
+                    inflight.pop(worker_id, None)
+                    if job_id in pending and not retry(job_id):
+                        fail(JobError(job_id, by_id[job_id].tag, etype, msg, tb))
+                depth.set(len(pending) - len(inflight))
+            else:
+                idle_polls += 1
+
+            # Liveness: a dead worker's in-flight job is crashed work.
+            for worker_id, proc in list(self._procs.items()):
+                if proc.is_alive():
+                    continue
+                proc.join(timeout=1.0)  # reap, so exitcode is populated
+                exitcode = proc.exitcode
+                del self._procs[worker_id]
+                job = inflight.pop(worker_id, None)
+                if job is not None:
+                    job_id = job[0]
+                    if job_id in pending:
+                        self.metrics.counter("parallel.crashes").inc()
+                        if not retry(job_id):
+                            fail(WorkerCrashError(
+                                job_id, by_id[job_id].tag, exitcode
+                            ))
+                self._ensure_workers()
+
+            # Timeouts: kill the worker, retry the job bounded times.
+            now = clock()
+            for worker_id, (job_id, attempt, t0) in list(inflight.items()):
+                limit = by_id[job_id].timeout_s or self.timeout_s
+                if limit is None or now - t0 <= limit:
+                    continue
+                inflight.pop(worker_id, None)
+                self._kill_worker(worker_id)
+                self.metrics.counter("parallel.timeouts").inc()
+                if job_id in pending and not retry(job_id):
+                    fail(JobTimeoutError(job_id, by_id[job_id].tag, limit))
+                self._ensure_workers()
+
+            # Orphan sweep: every worker idle and alive, nothing queued,
+            # yet jobs are pending — their tasks died with a worker
+            # before its "start" message. Re-enqueue, charging a retry.
+            if (
+                idle_polls >= _ORPHAN_SWEEP_POLLS
+                and not inflight
+                and pending
+                and self._task_queue.empty()
+            ):
+                idle_polls = 0
+                for job_id in sorted(pending):
+                    self.metrics.counter("parallel.crashes").inc()
+                    if not retry(job_id):
+                        fail(WorkerCrashError(job_id, by_id[job_id].tag, None))
+
+        wall = max(clock() - t_run, 1e-9)
+        self.metrics.gauge("parallel.utilization").set(
+            min(1.0, busy_s / (self.workers * wall))
+        )
+        straggler = 0.0
+        if len(finish_times) >= 2:
+            tail = sorted(finish_times)[-2:]
+            straggler = tail[1] - tail[0]
+        self.metrics.gauge("parallel.straggler_s").set(straggler)
+        depth.set(0)
+        return [results[job.job_id] for job in jobs]
+
+    # ------------------------------------------------------------------
+    def _adopt_spans(self, worker_id: int, job: SearchJob, records) -> float:
+        """Replay a job's worker spans; return the job's busy seconds."""
+        busy = 0.0
+        for record in records:
+            if record.get("name") == "job" and record.get("dur"):
+                busy = float(record["dur"])
+        tracer = get_tracer()
+        if tracer.has_sinks:
+            tracer.adopt(
+                records, f"worker-{worker_id}", job=job.job_id, tag=job.tag
+            )
+        return busy
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        """Spawn workers lazily up to the configured count."""
+        import multiprocessing
+
+        if self._ctx is None:
+            self._ctx = multiprocessing.get_context("spawn")
+            self._task_queue = self._ctx.Queue()
+            self._result_queue = self._ctx.Queue()
+        backend = self._backend or kernels.get_backend()
+        from repro.parallel.worker import worker_main
+
+        while len(self._procs) < self.workers:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(worker_id, self._task_queue, self._result_queue, backend),
+                daemon=True,
+                name=f"repro-worker-{worker_id}",
+            )
+            proc.start()
+            self._procs[worker_id] = proc
+
+    def _kill_worker(self, worker_id: int) -> None:
+        proc = self._procs.pop(worker_id, None)
+        if proc is None:
+            return
+        proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop workers and drop the queues; the pool stays reusable."""
+        if self._ctx is None:
+            return
+        for __ in self._procs:
+            try:
+                self._task_queue.put(None)
+            except (OSError, ValueError):
+                break
+        for worker_id, proc in list(self._procs.items()):
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._ctx = None
+        self._task_queue = None
+        self._result_queue = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

@@ -1,0 +1,172 @@
+"""Multi-dataset, multi-method search sweeps on one shared pool.
+
+``repro sweep`` (and the parallel-search benchmark) run a grid of
+(dataset, method) cells — SANE plus the trial-and-error baselines —
+against a single :class:`repro.parallel.WorkerPool`. Cells execute in
+a fixed order in the parent; each cell's internal stages (SANE search
+seeds, candidate probes, retrain repeats, NAS candidate batches) fan
+out as job waves over the shared workers.
+
+Determinism is checked end to end through
+:meth:`SweepResult.digest`: a SHA-256 over every seed-derived output
+(scores, selected architectures) and none of the timings. The digest
+at ``--workers 4`` must equal the digest at ``--workers 0`` — the
+bit-identical-merge contract of DESIGN.md section 12, in one string.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from repro.experiments.config import Scale
+from repro.experiments.runners import NAS_METHODS, run_nas_method, run_sane
+from repro.graph.datasets import load_dataset
+from repro.obs import MetricsRegistry, get_tracer
+from repro.parallel.pool import WorkerPool
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "SWEEP_METHODS"]
+
+SWEEP_METHODS = ("sane",) + NAS_METHODS
+
+
+@dataclasses.dataclass
+class SweepCell:
+    """One (dataset, method) grid entry."""
+
+    dataset: str
+    method: str
+    test_scores: list[float]
+    val_score: float  # best validation score backing the selection
+    best: str  # selected architecture / spec, stringified
+    search_time: float  # seconds (excluded from the digest)
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """A finished sweep: the grid plus its reproducibility digest."""
+
+    scale: str
+    seed: int
+    workers: int
+    rollout_batch: int
+    cells: list[SweepCell]
+    wall_s: float
+
+    def digest(self) -> str:
+        """SHA-256 over seed-derived outputs only.
+
+        Timings and worker count are excluded: two runs of the same
+        (datasets, methods, scale, seed, rollout_batch) must agree
+        regardless of parallelism, and this string is the test.
+        """
+        payload = {
+            "scale": self.scale,
+            "seed": self.seed,
+            "rollout_batch": self.rollout_batch,
+            "cells": [
+                {
+                    "dataset": cell.dataset,
+                    "method": cell.method,
+                    "test_scores": cell.test_scores,
+                    "val_score": cell.val_score,
+                    "best": cell.best,
+                }
+                for cell in self.cells
+            ],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """Plain-text table for the CLI."""
+        lines = [
+            f"sweep @ {self.scale} seed={self.seed} workers={self.workers} "
+            f"wall={self.wall_s:.1f}s",
+            f"{'dataset':<12} {'method':<12} {'test':>8} {'val':>8} "
+            f"{'search_s':>9}  best",
+        ]
+        for cell in self.cells:
+            mean = sum(cell.test_scores) / max(1, len(cell.test_scores))
+            lines.append(
+                f"{cell.dataset:<12} {cell.method:<12} {mean:>8.4f} "
+                f"{cell.val_score:>8.4f} {cell.search_time:>9.2f}  {cell.best}"
+            )
+        lines.append(f"digest: {self.digest()}")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    datasets,
+    scale: Scale,
+    seed: int = 0,
+    methods=("sane", "random", "graphnas"),
+    workers: int = 0,
+    rollout_batch: int = 1,
+    metrics: MetricsRegistry | None = None,
+    pool: WorkerPool | None = None,
+) -> SweepResult:
+    """Run the (dataset, method) grid; see the module docstring.
+
+    Pass ``metrics`` (e.g. a benchmark's registry) to fold the pool's
+    ``parallel.*`` counters and gauges into an existing payload, or
+    ``pool`` to reuse already-spawned workers across sweeps.
+    """
+    for method in methods:
+        if method not in SWEEP_METHODS:
+            raise ValueError(
+                f"unknown sweep method {method!r}; choose from {SWEEP_METHODS}"
+            )
+    clock = get_tracer().clock
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers=workers, metrics=metrics)
+    workers = pool.workers
+    cells: list[SweepCell] = []
+    t0 = clock()
+    try:
+        for name in datasets:
+            data = load_dataset(name, scale=scale.dataset_scale)
+            for method in methods:
+                if method == "sane":
+                    run = run_sane(data, scale, seed=seed, pool=pool)
+                    cells.append(
+                        SweepCell(
+                            dataset=name,
+                            method=method,
+                            test_scores=[float(s) for s in run.test_scores],
+                            val_score=float(max(run.val_scores)),
+                            best=str(run.architecture),
+                            search_time=float(run.search_time),
+                        )
+                    )
+                else:
+                    nas = run_nas_method(
+                        method,
+                        data,
+                        scale,
+                        seed=seed,
+                        rollout_batch=rollout_batch,
+                        pool=pool,
+                    )
+                    cells.append(
+                        SweepCell(
+                            dataset=name,
+                            method=method,
+                            test_scores=[float(s) for s in nas.test_scores],
+                            val_score=float(nas.outcome.best.val_score),
+                            best=str(nas.best_decoded),
+                            search_time=float(nas.outcome.search_time),
+                        )
+                    )
+    finally:
+        if own_pool:
+            pool.shutdown()
+    return SweepResult(
+        scale=scale.name,
+        seed=seed,
+        workers=workers,
+        rollout_batch=rollout_batch,
+        cells=cells,
+        wall_s=clock() - t0,
+    )

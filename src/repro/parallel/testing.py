@@ -1,0 +1,75 @@
+"""Job bodies for exercising the pool's failure modes.
+
+Fault-injection tests need job functions that crash the worker
+process, sleep past a timeout, or fail exactly once — and spawn
+workers can only run module-level importable functions, so they live
+here rather than inline in the tests.
+
+The ``flaky_*`` variants coordinate across worker processes through a
+marker file (each attempt may land on a different process, so no
+in-memory flag can express "fail the first attempt only").
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import obs
+
+__all__ = [
+    "echo_job",
+    "crash_job",
+    "flaky_crash_job",
+    "raise_job",
+    "flaky_raise_job",
+    "sleep_job",
+    "spanned_job",
+]
+
+
+def echo_job(value):
+    """Return ``value`` unchanged (smoke-tests the round trip)."""
+    return value
+
+
+def crash_job(exitcode: int = 3):
+    """Kill the worker process abruptly — no exception, no cleanup."""
+    os._exit(exitcode)
+
+
+def flaky_crash_job(marker_path: str, value):
+    """Crash the worker on the first attempt, succeed on the retry."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as fh:
+            fh.write("attempted\n")
+        os._exit(3)
+    return value
+
+
+def raise_job(message: str = "injected failure"):
+    """Raise inside the job body (exercises the JobError path)."""
+    raise ValueError(message)
+
+
+def flaky_raise_job(marker_path: str, value):
+    """Raise on the first attempt, succeed on the retry."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as fh:
+            fh.write("attempted\n")
+        raise ValueError("injected first-attempt failure")
+    return value
+
+
+def sleep_job(seconds: float, value=None):
+    """Block past a timeout (the parent kills the worker)."""
+    time.sleep(seconds)
+    return value
+
+
+def spanned_job(value):
+    """Open a nested span tree so tests can assert worker-span replay."""
+    with obs.span("outer", kind="test"):
+        with obs.span("inner", kind="test"):
+            pass
+    return value

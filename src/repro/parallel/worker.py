@@ -1,0 +1,61 @@
+"""Worker-process entry point for the :class:`WorkerPool`.
+
+Each worker is a spawn-started process looping over the shared task
+queue. The protocol (DESIGN.md section 12) is three message kinds on
+the result queue:
+
+* ``("start", job_id, attempt, worker_id)`` — sent *before* the job
+  body runs, so the parent can attribute an in-flight job to this
+  worker for crash and timeout accounting;
+* ``("ok", job_id, attempt, worker_id, result_bytes, span_records)``
+  — the job finished; the result is pre-pickled *in the worker* so an
+  unpicklable return value surfaces as a typed error instead of
+  wedging the queue's feeder thread, and the job's spans ride along
+  as plain dicts for :meth:`Tracer.adopt`;
+* ``("error", job_id, attempt, worker_id, error_type, message,
+  traceback)`` — the job raised; the formatted traceback travels
+  because the exception object itself may not pickle.
+
+A ``None`` task is the shutdown sentinel. The kernel backend is
+passed explicitly: ``REPRO_KERNELS`` is read at import time in the
+parent, and a ``--kernels`` CLI override never reaches the child's
+environment.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+
+from repro.autograd import kernels
+from repro.obs import InMemorySink, get_tracer
+from repro.parallel.jobs import execute_job
+
+__all__ = ["worker_main"]
+
+
+def worker_main(worker_id: int, task_queue, result_queue, backend: str) -> None:
+    """Loop: pull a task, run it, ship the result; exit on sentinel."""
+    kernels.set_backend(backend)
+    tracer = get_tracer()
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        job_id, attempt, payload = item
+        result_queue.put(("start", job_id, attempt, worker_id))
+        sink = InMemorySink()
+        try:
+            job = pickle.loads(payload)
+            with tracer.collect(sink):
+                with tracer.span("job", kind="job", job=job_id, tag=job.tag):
+                    result = execute_job(job)
+            blob = pickle.dumps(result)
+        except Exception as exc:
+            result_queue.put((
+                "error", job_id, attempt, worker_id,
+                type(exc).__name__, str(exc), traceback.format_exc(),
+            ))
+            continue
+        records = [span.to_dict() for span in sink.spans]
+        result_queue.put(("ok", job_id, attempt, worker_id, blob, records))

@@ -461,6 +461,81 @@ class TestBufferedScatter:
         assert [f.rule_id for f in result.suppressed] == ["buffered-scatter"]
 
 
+class TestRawMultiprocessing:
+    LIB_PATH = "src/repro/experiments/runners.py"
+
+    def run_at(self, source: str, path: str):
+        return analyze_source(
+            textwrap.dedent(source), path=path, rules=default_rules()
+        )
+
+    def test_flags_multiprocessing_imports(self):
+        result = self.run_at(
+            """
+            import multiprocessing
+            from multiprocessing import Pool
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["raw-multiprocessing"] * 3
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_flags_os_fork_call(self):
+        result = self.run_at(
+            """
+            import os
+
+            def spawn():
+                pid = os.fork()
+                return pid
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == ["raw-multiprocessing"]
+
+    def test_parallel_package_is_exempt(self):
+        source = """
+            import multiprocessing
+
+            def boot():
+                return multiprocessing.get_context("spawn")
+            """
+        assert rule_ids(self.run_at(source, "src/repro/parallel/pool.py")) == []
+        assert rule_ids(
+            self.run_at(source, "src/repro/parallel/worker.py")
+        ) == []
+
+    def test_outside_repro_package_is_out_of_scope(self):
+        source = """
+            import multiprocessing
+            """
+        assert rule_ids(self.run_at(source, "benchmarks/common.py")) == []
+        assert rule_ids(self.run_at(source, "tests/test_pool.py")) == []
+
+    def test_plain_os_calls_are_clean(self):
+        result = self.run_at(
+            """
+            import os
+
+            def env():
+                return os.environ.get("REPRO_SCALE"), os.getpid()
+            """,
+            self.LIB_PATH,
+        )
+        assert rule_ids(result) == []
+
+    def test_suppressible_inline(self):
+        result = self.run_at(
+            """
+            import multiprocessing  # lint: disable=raw-multiprocessing -- probe cpu count
+            """,
+            self.LIB_PATH,
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["raw-multiprocessing"]
+
+
 class TestUncheckedNanSource:
     LIB_PATH = "src/repro/gnn/aggregators.py"
 

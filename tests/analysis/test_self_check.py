@@ -64,6 +64,18 @@ class TestSelfCheck:
         ]
         assert timing == [], "\n" + "\n".join(f.render() for f in timing)
 
+    def test_process_fanout_goes_through_parallel(self):
+        # The raw-multiprocessing rule fences process primitives into
+        # repro.parallel; the rest of the library must submit SearchJobs,
+        # and nothing should need a suppression.
+        findings = result()
+        fanout = [
+            f
+            for f in findings.findings + findings.suppressed
+            if f.rule_id == "raw-multiprocessing"
+        ]
+        assert fanout == [], "\n" + "\n".join(f.render() for f in fanout)
+
     def test_whole_tree_was_scanned(self):
         findings = result()
         # ~82 package modules + ~65 test modules + ~10 benchmarks.

@@ -1,0 +1,270 @@
+"""WorkerPool robustness: merge order, retries, crashes, timeouts, spans.
+
+Every parallel test here runs real spawn workers, so they share pools
+where possible and keep job bodies tiny. The suite doubles as the
+"never hang" contract: a wedged queue would stall one of these tests
+forever, and the repo's test runner treats that as failure.
+"""
+
+import pytest
+
+from repro.obs import InMemorySink, MetricsRegistry, get_tracer
+from repro.parallel import (
+    JobDispatchError,
+    JobError,
+    JobTimeoutError,
+    SearchJob,
+    WorkerCrashError,
+    WorkerPool,
+)
+
+
+def metric(registry, name):
+    """Read one counter/gauge value out of a registry snapshot."""
+    snapshot = registry.snapshot()
+    for family in ("counters", "gauges"):
+        if name in snapshot[family]:
+            return snapshot[family][name]["value"]
+    raise KeyError(name)
+
+
+def echo_jobs(values, **extra):
+    return [
+        SearchJob(
+            job_id=i,
+            fn="repro.parallel.testing:echo_job",
+            kwargs={"value": value},
+            **extra,
+        )
+        for i, value in enumerate(values)
+    ]
+
+
+class TestInlineMode:
+    def test_workers_zero_runs_in_process(self):
+        pool = WorkerPool(workers=0)
+        assert pool.run(echo_jobs([5, 6, 7])) == [5, 6, 7]
+
+    def test_results_align_with_input_order_not_job_id_order(self):
+        pool = WorkerPool(workers=0)
+        jobs = [
+            SearchJob(job_id=2, fn="repro.parallel.testing:echo_job",
+                      kwargs={"value": "c"}),
+            SearchJob(job_id=0, fn="repro.parallel.testing:echo_job",
+                      kwargs={"value": "a"}),
+        ]
+        assert pool.run(jobs) == ["c", "a"]
+
+    def test_empty_batch(self):
+        assert WorkerPool(workers=0).run([]) == []
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate job ids"):
+            WorkerPool(workers=0).run(
+                [
+                    SearchJob(job_id=1, fn="repro.parallel.testing:echo_job"),
+                    SearchJob(job_id=1, fn="repro.parallel.testing:echo_job"),
+                ]
+            )
+
+    def test_inline_exceptions_surface_unwrapped(self):
+        # The CLI catches concrete types (e.g. NumericsAnomaly); the
+        # in-process path must not wrap them in JobError.
+        pool = WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="injected failure"):
+            pool.run(
+                [SearchJob(job_id=0, fn="repro.parallel.testing:raise_job")]
+            )
+
+    def test_inline_metrics(self):
+        metrics = MetricsRegistry()
+        WorkerPool(workers=0, metrics=metrics).run(echo_jobs([1, 2]))
+        assert metric(metrics, "parallel.jobs") == 2
+        assert metric(metrics, "parallel.utilization") == 1.0
+        assert metric(metrics, "parallel.queue_depth") == 0
+
+
+class TestParallelMode:
+    def test_merge_is_deterministic_and_complete(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, metrics=metrics) as pool:
+            values = list(range(8))
+            assert pool.run(echo_jobs(values)) == values
+            # Re-running on live workers: same merge.
+            assert pool.run(echo_jobs(values)) == values
+        assert metric(metrics, "parallel.jobs") == 16
+        assert metric(metrics, "parallel.workers") == 2
+        assert 0.0 <= metric(metrics, "parallel.utilization") <= 1.0
+
+    def test_unpicklable_job_raises_before_enqueue(self):
+        with WorkerPool(workers=2) as pool:
+            with pytest.raises(JobDispatchError, match="not\\s+picklable"):
+                pool.run(
+                    [
+                        SearchJob(
+                            job_id=0,
+                            fn="repro.parallel.testing:echo_job",
+                            kwargs={"value": lambda: None},
+                        )
+                    ]
+                )
+            # The pool survives a dispatch failure.
+            assert pool.run(echo_jobs(["ok"])) == ["ok"]
+
+
+class TestFaultInjection:
+    def test_job_exception_retried_then_typed_error(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, metrics=metrics) as pool:
+            with pytest.raises(JobError) as excinfo:
+                pool.run(
+                    [
+                        SearchJob(
+                            job_id=0,
+                            fn="repro.parallel.testing:raise_job",
+                            kwargs={"message": "injected failure"},
+                            tag="raiser",
+                        )
+                    ]
+                )
+        error = excinfo.value
+        assert error.error_type == "ValueError"
+        assert error.tag == "raiser"
+        assert "injected failure" in error.remote_traceback
+        assert metric(metrics, "parallel.retries") == 1
+
+    def test_flaky_job_succeeds_on_retry(self, tmp_path):
+        marker = tmp_path / "flaky-raise.marker"
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, metrics=metrics) as pool:
+            results = pool.run(
+                [
+                    SearchJob(
+                        job_id=0,
+                        fn="repro.parallel.testing:flaky_raise_job",
+                        kwargs={"marker_path": str(marker), "value": 99},
+                    )
+                ]
+            )
+        assert results == [99]
+        assert metric(metrics, "parallel.retries") == 1
+
+    def test_worker_crash_detected_and_retried(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, metrics=metrics) as pool:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pool.run(
+                    [
+                        SearchJob(
+                            job_id=0,
+                            fn="repro.parallel.testing:crash_job",
+                            tag="crasher",
+                        )
+                    ]
+                )
+        assert excinfo.value.tag == "crasher"
+        # Initial attempt + one retry, both crashed.
+        assert metric(metrics, "parallel.crashes") == 2
+
+    def test_crash_then_success_on_replacement_worker(self, tmp_path):
+        marker = tmp_path / "flaky-crash.marker"
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, metrics=metrics) as pool:
+            results = pool.run(
+                [
+                    SearchJob(
+                        job_id=0,
+                        fn="repro.parallel.testing:flaky_crash_job",
+                        kwargs={"marker_path": str(marker), "value": "alive"},
+                    )
+                ]
+            )
+        assert results == ["alive"]
+        assert metric(metrics, "parallel.crashes") == 1
+        assert metric(metrics, "parallel.jobs") == 1
+
+    def test_timeout_kills_worker_and_raises(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, metrics=metrics, poll_s=0.05) as pool:
+            with pytest.raises(JobTimeoutError) as excinfo:
+                pool.run(
+                    [
+                        SearchJob(
+                            job_id=0,
+                            fn="repro.parallel.testing:sleep_job",
+                            kwargs={"seconds": 30.0},
+                            tag="sleeper",
+                            timeout_s=0.5,
+                        )
+                    ]
+                )
+        assert excinfo.value.timeout_s == 0.5
+        assert metric(metrics, "parallel.timeouts") == 2
+
+    def test_healthy_jobs_complete_alongside_a_crash(self, tmp_path):
+        marker = tmp_path / "mixed.marker"
+        with WorkerPool(workers=2) as pool:
+            jobs = echo_jobs([10, 20, 30])
+            jobs.append(
+                SearchJob(
+                    job_id=3,
+                    fn="repro.parallel.testing:flaky_crash_job",
+                    kwargs={"marker_path": str(marker), "value": 40},
+                )
+            )
+            assert pool.run(jobs) == [10, 20, 30, 40]
+
+
+class TestSpanAdoption:
+    def test_worker_spans_replay_under_worker_roots(self):
+        sink = InMemorySink()
+        tracer = get_tracer()
+        with WorkerPool(workers=2) as pool:
+            with tracer.collect(sink):
+                pool.run(
+                    [
+                        SearchJob(
+                            job_id=0,
+                            fn="repro.parallel.testing:spanned_job",
+                            kwargs={"value": 1},
+                            tag="spanny",
+                        )
+                    ]
+                )
+        names = [span.name for span in sink.spans]
+        assert "worker-0" in names or "worker-1" in names
+        assert "job" in names
+        assert "outer" in names and "inner" in names
+        by_name = {span.name: span.to_dict() for span in sink.spans}
+        root_name = "worker-0" if "worker-0" in by_name else "worker-1"
+        root = by_name[root_name]
+        # Replayed spans are re-parented under the synthetic root.
+        assert by_name["job"]["parent"] == root["id"]
+        assert by_name["outer"]["parent"] == by_name["job"]["id"]
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert root["attrs"]["tag"] == "spanny"
+
+    def test_no_sinks_no_replay_overhead(self):
+        # Without sinks the records are dropped; just a smoke check
+        # that nothing breaks when the tracer has nowhere to dispatch.
+        with WorkerPool(workers=2) as pool:
+            assert pool.run(
+                [
+                    SearchJob(
+                        job_id=0,
+                        fn="repro.parallel.testing:spanned_job",
+                        kwargs={"value": 2},
+                    )
+                ]
+            ) == [2]
+
+
+class TestShutdown:
+    def test_shutdown_idempotent_and_reusable(self):
+        pool = WorkerPool(workers=2)
+        assert pool.run(echo_jobs([1])) == [1]
+        pool.shutdown()
+        pool.shutdown()
+        # Workers respawn lazily on the next run.
+        assert pool.run(echo_jobs([2])) == [2]
+        pool.shutdown()
