@@ -30,6 +30,7 @@ from typing import Iterator
 from repro.autograd.kernels import KernelCounters, count_kernels
 from repro.experiments.config import SCALES, Scale
 from repro.obs import InMemorySink, MetricsRegistry, TRACE_VERSION, aggregate_spans, get_tracer
+from repro.obs.runs import env_fingerprint, record_run
 
 __all__ = [
     "bench_scale", "bench_workers", "show", "BenchRun", "tracked_run",
@@ -139,4 +140,16 @@ def emit_metrics(name: str, spans=(), metrics: MetricsRegistry | None = None,
     path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+    # Benchmarks ride the run ledger alongside the BENCH_*.json they
+    # overwrite: the snapshot goes to the gate, the history goes here.
+    record_run(
+        "bench",
+        {"name": name, "scale": payload["scale"]},
+        env=env_fingerprint(
+            scale=payload["scale"], workers=bench_workers()
+        ),
+        registry=metrics,
+        outputs={"bench": name},
+        files=[str(path)],
+    )
     return path

@@ -14,6 +14,13 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
+# Every CLI entry point below appends a provenance manifest to the
+# (gitignored) live run ledger; count the store up front so the ledger
+# stage at the bottom can assert this CI run actually left a trail.
+LEDGER=benchmarks/history/runs.jsonl
+LEDGER_BEFORE=0
+[[ -f "$LEDGER" ]] && LEDGER_BEFORE="$(wc -l < "$LEDGER")"
+
 echo "==> repro lint"
 python -m repro lint
 
@@ -123,5 +130,46 @@ PYEOF
     echo "==> publishing fresh BENCH_*.json to repo root"
     cp "$BENCH_DIR"/BENCH_*.json .
 fi
+
+# Run-ledger stage: the pipeline above must have left provenance
+# manifests behind, and the committed seed history must still pass the
+# cross-run trend gate (search epoch time, serve tail latency, kernel
+# bandwidth). The gate runs even under SKIP_BENCH=1 — it reads the
+# committed baseline, not this run's output.
+echo "==> run ledger"
+LEDGER_AFTER=0
+[[ -f "$LEDGER" ]] && LEDGER_AFTER="$(wc -l < "$LEDGER")"
+LEDGER_NEW=$((LEDGER_AFTER - LEDGER_BEFORE))
+echo "ledger: $LEDGER_NEW new manifest(s) in $LEDGER"
+# lint + check + two sweeps under SKIP_BENCH=1; the bench/export/serve
+# stages push the full pipeline well past five.
+LEDGER_MIN=5
+[[ "${SKIP_BENCH:-0}" == "1" ]] && LEDGER_MIN=4
+if [[ "$LEDGER_NEW" -lt "$LEDGER_MIN" ]]; then
+    echo "run ledger gained only $LEDGER_NEW manifest(s); expected >= $LEDGER_MIN" >&2
+    exit 1
+fi
+# The new tail must cover the entry points this script exercised.
+python - "$LEDGER" "$LEDGER_NEW" <<'PYEOF'
+import json
+import os
+import sys
+
+lines = open(sys.argv[1], encoding="utf-8").read().splitlines()
+tail = lines[-int(sys.argv[2]):]
+commands = {json.loads(line)["command"] for line in tail}
+expected = {"lint", "check", "sweep"}
+if os.environ.get("SKIP_BENCH", "0") != "1":
+    expected |= {"export", "serve", "bench"}
+missing = expected - commands
+assert not missing, f"ledger tail missing commands {sorted(missing)}; got {sorted(commands)}"
+print(f"ledger commands ok: {sorted(commands)}")
+PYEOF
+python -m repro runs list --last 12
+
+echo "==> run trend gate (committed seed history)"
+python -m repro runs trend \
+    search.epoch_ms serve.latency.p99_s kernel.scatter_sum.effective_gbps \
+    --gate --history benchmarks/history/seed.jsonl
 
 echo "CI OK"

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerate the committed CI seed history (benchmarks/history/seed.jsonl).
+
+The trend gate in scripts/ci.sh needs history to compare a fresh run
+against; a brand-new checkout has none. This script writes a small,
+fully deterministic ledger — fake clock, synthetic git revisions,
+hand-pinned metric values with realistic jitter — that stands in for
+"the last six healthy CI runs". Regenerate only when the manifest
+schema version changes:
+
+    PYTHONPATH=src python scripts/seed_history.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.runs import SEED_HISTORY_NAME, RunLedger, build_manifest  # noqa: E402
+
+OUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "history" / SEED_HISTORY_NAME
+)
+
+# Six healthy runs' worth of pinned values (±~2% jitter around a flat
+# baseline — the shape the gate must call "ok").
+SEARCH_EPOCH_MS = [101.4, 98.7, 100.9, 99.2, 102.1, 100.3]
+SEARCH_TEST_SCORE = [0.891, 0.888, 0.893, 0.890, 0.889, 0.892]
+SERVE_P50_S = [0.00212, 0.00208, 0.00215, 0.00210, 0.00207, 0.00213]
+SERVE_P99_S = [0.00391, 0.00402, 0.00396, 0.00388, 0.00405, 0.00394]
+SERVE_RPS = [4550.0, 4620.0, 4480.0, 4590.0, 4640.0, 4530.0]
+SCATTER_GBPS = [5.42, 5.51, 5.38, 5.47, 5.55, 5.44]
+
+BASE_T = 1_754_000_000.0  # fixed epoch; one synthetic run per day
+
+
+def _env(i: int) -> dict:
+    return {
+        "scale": "smoke",
+        "seed": 0,
+        "kernels": "fused",
+        "workers": 0,
+        # Synthetic revisions: each seed entry pretends to be a
+        # different commit, so content-derived run ids differ.
+        "git_rev": f"{0x5eed000000 + i:012x}",
+        "python": "3.11.0",
+    }
+
+
+def main() -> int:
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    if OUT.exists():
+        OUT.unlink()
+    ledger = RunLedger(OUT)
+    for i in range(6):
+        clock = lambda i=i: BASE_T + i * 86_400.0
+        ledger.append(
+            build_manifest(
+                "search",
+                {"dataset": "cora", "layers": 3, "epsilon": 0.0,
+                 "scale": "smoke"},
+                env=_env(i),
+                metrics={
+                    "search.epoch_ms": SEARCH_EPOCH_MS[i],
+                    "search.test_score": SEARCH_TEST_SCORE[i],
+                },
+                outputs={"ci_seed": i},
+                clock=clock,
+            )
+        )
+        ledger.append(
+            build_manifest(
+                "serve",
+                {"bench": True, "bench_name": "serve_cli", "max_batch": 64,
+                 "scale": "smoke"},
+                env=_env(i),
+                metrics={
+                    "serve.latency.p50_s": SERVE_P50_S[i],
+                    "serve.latency.p99_s": SERVE_P99_S[i],
+                    "serve.rps": SERVE_RPS[i],
+                },
+                outputs={"ci_seed": i},
+                clock=clock,
+            )
+        )
+        ledger.append(
+            build_manifest(
+                "bench",
+                {"name": "parallel_search", "scale": "smoke"},
+                env=_env(i),
+                metrics={
+                    "kernel.scatter_sum.effective_gbps": SCATTER_GBPS[i],
+                },
+                outputs={"ci_seed": i},
+                clock=clock,
+            )
+        )
+    print(f"wrote {len(ledger.read())} manifests to {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ __all__ = [
     "MissingOpScopeRule",
     "TapeInInferenceRule",
     "UntracedServePathRule",
+    "UnledgeredEntrypointRule",
     "CORE_RULES",
 ]
 
@@ -924,6 +925,54 @@ class UntracedServePathRule(Rule):
         return len(rest) >= 2 and rest[1] == "serve"
 
 
+class UnledgeredEntrypointRule(Rule):
+    """A CLI subcommand handler that never records a run manifest.
+
+    The run ledger (DESIGN section 13) only has value if it is
+    *complete*: one unledgered entry point and cross-run trends,
+    lineage, and provenance all have holes exactly where a regression
+    hid. The CLI's convention makes completeness lexically checkable —
+    every ``_cmd_<name>`` handler in ``repro/cli.py`` must contain a
+    call to ``record_run`` somewhere in its body. Handlers that are
+    genuinely read-only (``repro runs`` itself, the ``report``
+    renderers) carry a ``# lint: disable=unledgered-entrypoint``
+    justification on the ``def`` line instead.
+    """
+
+    rule_id = "unledgered-entrypoint"
+    severity = Severity.ERROR
+    description = (
+        "cli.py subcommand handler (_cmd_*) without a record_run call"
+    )
+    node_types = (ast.FunctionDef,)
+
+    def check(self, node: ast.FunctionDef, ctx: Context) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        if not node.name.startswith("_cmd_"):
+            return
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call) and _call_name(inner) == "record_run":
+                return
+        yield self.finding(
+            node,
+            ctx,
+            f"{node.name}() handles a subcommand but never calls "
+            "record_run(); every entry point must append a run manifest "
+            "to the ledger (or justify with "
+            "# lint: disable=unledgered-entrypoint)",
+        )
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        """True only for the package's ``cli.py`` itself."""
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return False
+        rest = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+        return rest == ["repro", "cli.py"]
+
+
 CORE_RULES: tuple[type[Rule], ...] = (
     TapeMutationRule,
     UnregisteredParameterRule,
@@ -941,4 +990,5 @@ CORE_RULES: tuple[type[Rule], ...] = (
     MissingOpScopeRule,
     TapeInInferenceRule,
     UntracedServePathRule,
+    UnledgeredEntrypointRule,
 )

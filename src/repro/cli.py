@@ -14,6 +14,13 @@ Commands
 ``report``           render telemetry dashboards and the bench gate
 ``export``           train a model and bundle it as a servable artifact
 ``serve``            serve an exported artifact (demo or load bench)
+``runs``             run-ledger history, lineage, and the trend gate
+
+Every entry point that does work appends a provenance manifest to the
+run ledger (``benchmarks/history/runs.jsonl``; directory overridable
+via ``REPRO_HISTORY_DIR``, recording disabled with
+``REPRO_RUN_LEDGER=off``) — the ``unledgered-entrypoint`` lint rule
+keeps it that way.
 
 All commands take ``--scale smoke|default|full`` (default: value of
 ``REPRO_SCALE`` or ``default``), ``--seed``, and ``--kernels
@@ -44,6 +51,22 @@ from repro.obs import ProfileSession, record_events, render_diff, render_run
 from repro.obs.health import MODES, HealthMonitor, NumericsAnomaly
 from repro.obs.memory import render_memory_report_file
 from repro.obs.bench_gate import compare_bench, load_bench, render_bench_diff
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runs import (
+    RunLedger,
+    build_manifest,
+    env_fingerprint,
+    record_run,
+    text_digest,
+)
+from repro.obs.runs_report import (
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    render_run_show,
+    render_runs_diff,
+    render_runs_list,
+    render_trend,
+)
 from repro.experiments import (
     SCALES,
     run_figure2,
@@ -495,11 +518,89 @@ def build_parser() -> argparse.ArgumentParser:
         "a bench run this way)",
     )
 
+    runs = commands.add_parser(
+        "runs", help="run-ledger history, lineage, and the trend gate"
+    )
+    runs_views = runs.add_subparsers(dest="view", required=True)
+    runs_list_p = runs_views.add_parser(
+        "list", help="the run history table, oldest first"
+    )
+    runs_list_p.add_argument(
+        "--last", type=int, default=20, help="show only the newest N runs"
+    )
+    runs_list_p.add_argument(
+        "--command",
+        dest="filter_command",
+        default=None,
+        help="restrict to manifests of one command (search, serve, ...)",
+    )
+    runs_show_p = runs_views.add_parser(
+        "show", help="one manifest in full, with lineage resolution"
+    )
+    runs_show_p.add_argument(
+        "run",
+        help="run-id prefix (latest append wins) or integer position "
+        "(0 = oldest, -1 = newest)",
+    )
+    runs_diff_p = runs_views.add_parser(
+        "diff", help="config/env drift and metric deltas between two runs"
+    )
+    runs_diff_p.add_argument("a", help="baseline run ref (id prefix or index)")
+    runs_diff_p.add_argument("b", help="candidate run ref (id prefix or index)")
+    runs_trend_p = runs_views.add_parser(
+        "trend", help="metric history sparklines and the drift gate"
+    )
+    runs_trend_p.add_argument(
+        "metrics", nargs="+", help="metric names, e.g. search.epoch_ms"
+    )
+    runs_trend_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit nonzero on sustained drift in the bad direction "
+        "(or on a gated metric with no history)",
+    )
+    runs_trend_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative drift allowed before the trailing window gates",
+    )
+    runs_trend_p.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help="longest trailing window compared against older history",
+    )
+    runs_trend_p.add_argument(
+        "--last", type=int, default=0, help="consider only the newest N points"
+    )
+    runs_trend_p.add_argument(
+        "--command",
+        dest="filter_command",
+        default=None,
+        help="read the metric only from manifests of this command",
+    )
+    runs_gc_p = runs_views.add_parser(
+        "gc", help="truncate the ledger to the newest N manifests"
+    )
+    runs_gc_p.add_argument(
+        "--keep", type=int, default=200, help="manifests to retain"
+    )
+    for sub in (runs_list_p, runs_show_p, runs_diff_p, runs_trend_p, runs_gc_p):
+        sub.add_argument(
+            "--history",
+            default=None,
+            metavar="PATH",
+            help="ledger file (default: <REPRO_HISTORY_DIR or "
+            "benchmarks/history>/runs.jsonl)",
+        )
+
     _add_common_options(
         stats, search, sweep, baseline, table, figure, lint, check, profile,
         report, report_run, report_diff, report_memory, report_serve,
         report_bench,
         export, export_search_p, export_baseline_p, export_kg_p, serve,
+        runs, runs_list_p, runs_show_p, runs_diff_p, runs_trend_p, runs_gc_p,
     )
     return parser
 
@@ -518,147 +619,377 @@ def _default_lint_paths() -> list[str]:
     return paths
 
 
+def _ledger_env(args) -> dict:
+    """One env-fingerprint shape for every handler's manifest."""
+    return env_fingerprint(
+        scale=args.scale,
+        seed=getattr(args, "seed", None),
+        kernels=args.kernels,
+        workers=getattr(args, "workers", 0) or 0,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Dispatches to one ``_cmd_<command>`` handler per subcommand. Every
+    handler that does work records a run manifest via
+    :func:`repro.obs.runs.record_run` — the ``unledgered-entrypoint``
+    lint rule enforces the convention (read-only handlers carry a
+    justified suppression instead).
+    """
     args = build_parser().parse_args(argv)
     kernels.set_backend(args.kernels)
 
-    if args.command == "lint":
-        paths = args.paths or _default_lint_paths()
-        try:
-            result = lint_paths(paths)
-        except FileNotFoundError as exc:
-            print(f"repro lint: error: {exc}", file=sys.stderr)
-            return 2
-        render = render_json if args.format == "json" else render_text
-        print(render(result))
-        return 1 if result.error_count else 0
+    scaleless = {
+        "lint": _cmd_lint,
+        "check": _cmd_check,
+        "report": _cmd_report,
+        "runs": _cmd_runs,
+    }
+    if args.command in scaleless:
+        return scaleless[args.command](args)
 
-    if args.command == "check":
-        default_root = os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "autograd"
-        )
-        paths = args.paths or [default_root]
-        try:
-            check = check_paths(paths, baseline_path=args.baseline)
-        except FileNotFoundError as exc:
-            print(f"repro check: error: {exc}", file=sys.stderr)
-            return 2
-        render = render_check_json if args.format == "json" else render_check_text
-        print(render(check))
-        return check.exit_code
+    handlers = {
+        "stats": _cmd_stats,
+        "search": _cmd_search,
+        "sweep": _cmd_sweep,
+        "baseline": _cmd_baseline,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "profile": _cmd_profile,
+        "export": _cmd_export,
+        "serve": _cmd_serve,
+    }
+    return handlers[args.command](args, SCALES[args.scale])
 
-    if args.command == "report":
-        return _run_report(args)
 
-    scale = SCALES[args.scale]
+def _cmd_lint(args) -> int:
+    """``repro lint``: static analysis of repo invariants."""
+    paths = args.paths or _default_lint_paths()
+    try:
+        result = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    code = 1 if result.error_count else 0
+    record_run(
+        "lint",
+        {"paths": [str(p) for p in (args.paths or [])], "format": args.format},
+        env=_ledger_env(args),
+        outputs={
+            "exit_code": code,
+            "files": result.files,
+            "errors": result.error_count,
+            "warnings": result.warning_count,
+        },
+    )
+    return code
 
-    if args.command == "profile":
-        return _run_profile(args, scale)
 
-    if args.command == "export":
-        return _run_export(args, scale)
+def _cmd_check(args) -> int:
+    """``repro check``: interprocedural autograd contract analysis."""
+    default_root = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "autograd"
+    )
+    paths = args.paths or [default_root]
+    try:
+        check = check_paths(paths, baseline_path=args.baseline)
+    except FileNotFoundError as exc:
+        print(f"repro check: error: {exc}", file=sys.stderr)
+        return 2
+    render = render_check_json if args.format == "json" else render_check_text
+    print(render(check))
+    record_run(
+        "check",
+        {"paths": [str(p) for p in (args.paths or [])], "format": args.format},
+        env=_ledger_env(args),
+        outputs={
+            "exit_code": check.exit_code,
+            "files": check.result.files,
+            "errors": check.result.error_count,
+            "warnings": check.result.warning_count,
+        },
+    )
+    return check.exit_code
 
-    if args.command == "serve":
-        return _run_serve(args, scale)
 
-    if args.command == "stats":
-        print(run_table4(scale, seed=args.seed).render())
-        return 0
+def _cmd_stats(args, scale) -> int:
+    """``repro stats``: the Table IV/V dataset statistics."""
+    clock = get_tracer().clock
+    t0 = clock()
+    rendered = run_table4(scale, seed=args.seed).render()
+    print(rendered)
+    record_run(
+        "stats",
+        {"scale": args.scale},
+        env=_ledger_env(args),
+        outputs={"render_sha256": text_digest(rendered)},
+        duration_s=clock() - t0,
+    )
+    return 0
 
-    if args.command == "search":
-        data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
-        monitor = None
-        if args.check_numerics != "off":
-            monitor = HealthMonitor(mode=args.check_numerics).install()
 
-        def run_search():
-            if args.events:
-                with record_events(
-                    args.events, label=f"search:{args.dataset}", spans=True
-                ):
-                    return run_sane(
-                        data, scale, seed=args.seed,
-                        num_layers=args.layers, epsilon=args.epsilon,
-                        workers=args.workers,
-                    )
-            return run_sane(
-                data, scale, seed=args.seed,
-                num_layers=args.layers, epsilon=args.epsilon,
-                workers=args.workers,
-            )
+def _cmd_search(args, scale) -> int:
+    """``repro search``: run SANE on one dataset."""
+    clock = get_tracer().clock
+    t0 = clock()
+    data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
+    monitor = None
+    if args.check_numerics != "off":
+        monitor = HealthMonitor(mode=args.check_numerics).install()
 
-        try:
-            run = run_search()
-        except NumericsAnomaly as anomaly:
-            print(f"repro search: numerics anomaly: {anomaly}", file=sys.stderr)
-            return 3
-        finally:
-            if monitor is not None:
-                monitor.uninstall()
-        print(f"architecture: {run.architecture}")
-        print(f"search time:  {run.search_time:.1f}s")
-        print(f"test score:   {format_mean_std(run.test_scores)}")
-        if monitor is not None:
-            summary = monitor.summary()
-            print(
-                f"tape health:  {summary['checked_entries']} entries checked, "
-                f"{len(summary['anomalies'])} anomalies, "
-                f"{len(summary['dead_ops'])} dead-op sightings"
-            )
-            for entry in summary["anomalies"]:
-                print(
-                    "  anomaly: "
-                    f"{entry['kind']} in {entry['phase']} of op={entry['op']!r}, "
-                    f"edge={entry['edge']!r}, layer={entry['layer']}, "
-                    f"epoch={entry['epoch']}"
-                )
+    def run_search():
         if args.events:
-            print(f"events:       {args.events} (render with `repro report run`)")
-        return 0
-
-    if args.command == "sweep":
-        result = run_sweep(
-            args.datasets,
-            scale,
-            seed=args.seed,
-            methods=tuple(args.methods),
+            with record_events(
+                args.events, label=f"search:{args.dataset}", spans=True
+            ):
+                return run_sane(
+                    data, scale, seed=args.seed,
+                    num_layers=args.layers, epsilon=args.epsilon,
+                    workers=args.workers,
+                )
+        return run_sane(
+            data, scale, seed=args.seed,
+            num_layers=args.layers, epsilon=args.epsilon,
             workers=args.workers,
-            rollout_batch=args.rollout_batch,
         )
-        print(result.render())
+
+    try:
+        run = run_search()
+    except NumericsAnomaly as anomaly:
+        print(f"repro search: numerics anomaly: {anomaly}", file=sys.stderr)
+        return 3
+    finally:
+        if monitor is not None:
+            monitor.uninstall()
+    print(f"architecture: {run.architecture}")
+    print(f"search time:  {run.search_time:.1f}s")
+    print(f"test score:   {format_mean_std(run.test_scores)}")
+    if monitor is not None:
+        summary = monitor.summary()
+        print(
+            f"tape health:  {summary['checked_entries']} entries checked, "
+            f"{len(summary['anomalies'])} anomalies, "
+            f"{len(summary['dead_ops'])} dead-op sightings"
+        )
+        for entry in summary["anomalies"]:
+            print(
+                "  anomaly: "
+                f"{entry['kind']} in {entry['phase']} of op={entry['op']!r}, "
+                f"edge={entry['edge']!r}, layer={entry['layer']}, "
+                f"epoch={entry['epoch']}"
+            )
+    if args.events:
+        print(f"events:       {args.events} (render with `repro report run`)")
+    record_run(
+        "search",
+        {
+            "dataset": args.dataset,
+            "layers": args.layers,
+            "epsilon": args.epsilon,
+            "scale": args.scale,
+        },
+        env=_ledger_env(args),
+        metrics={
+            "search.time_s": run.search_time,
+            "search.epoch_ms": run.search_time
+            / max(1, scale.search_epochs) * 1000.0,
+            "search.test_score": float(np.mean(run.test_scores)),
+        },
+        outputs={
+            "architecture": str(run.architecture),
+            "test_scores": [float(s) for s in run.test_scores],
+        },
+        files=[args.events] if args.events else None,
+        duration_s=clock() - t0,
+    )
+    return 0
+
+
+def _cmd_sweep(args, scale) -> int:
+    """``repro sweep``: the (dataset, method) grid on a worker pool."""
+    clock = get_tracer().clock
+    t0 = clock()
+    registry = MetricsRegistry()
+    result = run_sweep(
+        args.datasets,
+        scale,
+        seed=args.seed,
+        methods=tuple(args.methods),
+        workers=args.workers,
+        rollout_batch=args.rollout_batch,
+        metrics=registry,
+    )
+    print(result.render())
+    # One manifest per sweep; the grid rides along as children so
+    # `repro runs show` renders the whole (dataset, method) table.
+    children = [
+        {
+            "dataset": cell.dataset,
+            "method": cell.method,
+            "test_mean": round(
+                sum(cell.test_scores) / max(1, len(cell.test_scores)), 6
+            ),
+            "val_score": round(cell.val_score, 6),
+            "best": cell.best,
+            "search_s": round(cell.search_time, 3),
+        }
+        for cell in result.cells
+    ]
+    record_run(
+        "sweep",
+        {
+            "datasets": list(args.datasets),
+            "methods": list(args.methods),
+            "rollout_batch": args.rollout_batch,
+            "scale": args.scale,
+        },
+        env=_ledger_env(args),
+        registry=registry,
+        outputs={"digest": result.digest()},
+        children=children,
+        duration_s=clock() - t0,
+    )
+    return 0
+
+
+def _cmd_baseline(args, scale) -> int:
+    """``repro baseline``: train a named human baseline."""
+    clock = get_tracer().clock
+    t0 = clock()
+    data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
+    scores = run_human_baseline(args.name, data, scale, seed=args.seed)
+    print(f"{args.name} on {args.dataset}: {format_mean_std(scores)}")
+    record_run(
+        "baseline",
+        {"name": args.name, "dataset": args.dataset, "scale": args.scale},
+        env=_ledger_env(args),
+        metrics={"baseline.test_score": float(np.mean(scores))},
+        outputs={"scores": [float(s) for s in scores]},
+        duration_s=clock() - t0,
+    )
+    return 0
+
+
+def _cmd_table(args, scale) -> int:
+    """``repro table``: regenerate a paper table."""
+    clock = get_tracer().clock
+    t0 = clock()
+    runner = _TABLE_RUNNERS[args.number]
+    kwargs = {"seed": args.seed}
+    if args.datasets and args.number in ("6", "7", "9", "10"):
+        kwargs["datasets"] = tuple(args.datasets)
+    if args.workers and args.number == "7":
+        kwargs["workers"] = args.workers
+    rendered = runner(scale, **kwargs).render()
+    print(rendered)
+    record_run(
+        "table",
+        {
+            "number": args.number,
+            "datasets": list(args.datasets or []),
+            "scale": args.scale,
+        },
+        env=_ledger_env(args),
+        outputs={"render_sha256": text_digest(rendered)},
+        duration_s=clock() - t0,
+    )
+    return 0
+
+
+def _cmd_figure(args, scale) -> int:
+    """``repro figure``: regenerate a paper figure."""
+    clock = get_tracer().clock
+    t0 = clock()
+    runner = _FIGURE_RUNNERS[args.number]
+    kwargs = {"seed": args.seed}
+    if args.datasets:
+        kwargs["datasets"] = tuple(args.datasets)
+    if args.workers and args.number == "3":
+        kwargs["workers"] = args.workers
+    rendered = runner(scale, **kwargs).render()
+    print(rendered)
+    record_run(
+        "figure",
+        {
+            "number": args.number,
+            "datasets": list(args.datasets or []),
+            "scale": args.scale,
+        },
+        env=_ledger_env(args),
+        outputs={"render_sha256": text_digest(rendered)},
+        duration_s=clock() - t0,
+    )
+    return 0
+
+
+def _cmd_runs(args) -> int:  # lint: disable=unledgered-entrypoint -- reading the ledger must never write it
+    """``repro runs``: history, lineage, and the trend gate."""
+    ledger = RunLedger(args.history)
+    if args.view == "gc":
+        dropped = ledger.gc(args.keep)
+        print(
+            f"run ledger gc: kept newest {args.keep}, dropped {dropped} "
+            f"entr{'y' if dropped == 1 else 'ies'} ({ledger.path})"
+        )
+        return 0
+    manifests = ledger.read()
+
+    if args.view == "list":
+        print(
+            render_runs_list(
+                manifests, last=args.last, command=args.filter_command
+            )
+        )
         return 0
 
-    if args.command == "baseline":
-        data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
-        scores = run_human_baseline(args.name, data, scale, seed=args.seed)
-        print(f"{args.name} on {args.dataset}: {format_mean_std(scores)}")
+    if args.view == "show":
+        hit = ledger.resolve(args.run, manifests)
+        if hit is None:
+            print(
+                f"repro runs show: error: no run matching {args.run!r} "
+                f"in {ledger.path}",
+                file=sys.stderr,
+            )
+            return 2
+        manifest, seq = hit
+        producer = None
+        producer_id = (manifest.lineage or {}).get("producer_run_id")
+        if producer_id:
+            parent = ledger.resolve(str(producer_id), manifests)
+            producer = parent[0] if parent is not None else None
+        print(render_run_show(manifest, seq=seq, producer=producer))
         return 0
 
-    if args.command == "table":
-        runner = _TABLE_RUNNERS[args.number]
-        kwargs = {"seed": args.seed}
-        if args.datasets and args.number in ("6", "7", "9", "10"):
-            kwargs["datasets"] = tuple(args.datasets)
-        if args.workers and args.number == "7":
-            kwargs["workers"] = args.workers
-        print(runner(scale, **kwargs).render())
+    if args.view == "diff":
+        hits = [ledger.resolve(ref, manifests) for ref in (args.a, args.b)]
+        if None in hits:
+            missing = args.a if hits[0] is None else args.b
+            print(
+                f"repro runs diff: error: no run matching {missing!r} "
+                f"in {ledger.path}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_runs_diff(hits[0][0], hits[1][0]))
         return 0
 
-    if args.command == "figure":
-        runner = _FIGURE_RUNNERS[args.number]
-        kwargs = {"seed": args.seed}
-        if args.datasets:
-            kwargs["datasets"] = tuple(args.datasets)
-        if args.workers and args.number == "3":
-            kwargs["workers"] = args.workers
-        print(runner(scale, **kwargs).render())
-        return 0
+    text, failed = render_trend(
+        manifests,
+        args.metrics,
+        tolerance=args.tolerance,
+        window=args.window,
+        last=args.last,
+        command=args.filter_command,
+    )
+    print(text)
+    return 1 if (failed and args.gate) else 0
 
-    return 1  # unreachable: argparse enforces a command
 
-
-def _run_report(args) -> int:
+def _cmd_report(args) -> int:  # lint: disable=unledgered-entrypoint -- read-only dashboards and gate renderers
     """``repro report``: run/diff dashboards and the bench gate."""
     if args.view == "run":
         try:
@@ -768,8 +1099,18 @@ def _run_report_bench(args) -> int:
 _SERVE_BENCH_REQUESTS = {"smoke": 64, "default": 256, "full": 2048}
 
 
-def _run_export(args, scale) -> int:
-    """``repro export``: train a model and write its artifact bundle."""
+def _cmd_export(args, scale) -> int:
+    """``repro export``: train a model and write its artifact bundle.
+
+    The run id must exist *before* the artifact is saved so it can be
+    embedded as provenance (hash-covered), which is what lets ``repro
+    serve`` manifests point back at the producing run. The manifest is
+    therefore built first — its id covers command/config/env/outputs,
+    never the artifact hash — and recorded after the save with the
+    final content hash attached.
+    """
+    clock = get_tracer().clock
+    t0 = clock()
     try:
         if args.target == "search":
             artifact = export_search(
@@ -777,20 +1118,49 @@ def _run_export(args, scale) -> int:
                 num_layers=args.layers, epsilon=args.epsilon,
             )
             default_out = f"artifact-search-{args.dataset}.json"
+            config = {
+                "target": "search", "dataset": args.dataset,
+                "layers": args.layers, "epsilon": args.epsilon,
+                "scale": args.scale,
+            }
         elif args.target == "baseline":
             artifact = export_baseline(
                 args.name, args.dataset, scale, seed=args.seed
             )
             default_out = f"artifact-baseline-{args.name}-{args.dataset}.json"
+            config = {
+                "target": "baseline", "name": args.name,
+                "dataset": args.dataset, "scale": args.scale,
+            }
         else:
             artifact = export_alignment(
                 scale, seed=args.seed,
                 node_aggregators=tuple(args.aggregators),
             )
             default_out = "artifact-kg.json"
+            config = {
+                "target": "kg", "aggregators": list(args.aggregators),
+                "scale": args.scale,
+            }
     except ArtifactError as exc:
         print(f"repro export: error: {exc}", file=sys.stderr)
         return 2
+    manifest = build_manifest(
+        "export",
+        config,
+        env=_ledger_env(args),
+        outputs={
+            "target": args.target,
+            "task": artifact.task,
+            "genotype": str(artifact.genotype)
+            if artifact.genotype is not None else None,
+        },
+    )
+    artifact.provenance = {
+        "run_id": manifest.run_id,
+        "command": "export",
+        "config_digest": manifest.config_digest,
+    }
     path = save_artifact(artifact, args.out or default_out)
     payload = artifact.to_payload()
     print(f"artifact:  {path}")
@@ -802,11 +1172,27 @@ def _run_export(args, scale) -> int:
               else f"{key + ':':<11}{value}")
     print(f"weights:   {len(artifact.weights)} tensors")
     print(f"hash:      {payload['content_hash']}")
+    manifest.metrics = {
+        f"export.{key}": float(value)
+        for key, value in artifact.training.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    manifest.artifacts.append(
+        {
+            "role": "output",
+            "path": str(path),
+            "content_hash": payload["content_hash"],
+        }
+    )
+    manifest.duration_s = clock() - t0
+    record_run(manifest=manifest)
     return 0
 
 
-def _run_serve(args, scale) -> int:
+def _cmd_serve(args, scale) -> int:
     """``repro serve``: load an artifact, run demo traffic or the bench."""
+    clock = get_tracer().clock
+    t0 = clock()
     try:
         artifact = load_artifact(args.artifact)
         engine = InferenceEngine.from_artifact(artifact)
@@ -844,7 +1230,7 @@ def _run_serve(args, scale) -> int:
         ).start()
 
     try:
-        return _serve_work(args, engine, artifact, deadline_s, trace_sink)
+        code = _serve_work(args, engine, artifact, deadline_s, trace_sink)
     finally:
         if snapshotter is not None:
             snapshotter.stop()
@@ -862,6 +1248,34 @@ def _run_serve(args, scale) -> int:
             trace_sink.close()
             print(f"trace:     {args.trace} "
                   f"(render with `repro report serve`)")
+
+    # Lineage: the artifact's embedded provenance (written by `repro
+    # export`) resolves this serve run back to the producing run id.
+    lineage = {
+        "artifact": str(args.artifact),
+        "content_hash": artifact.to_payload()["content_hash"],
+    }
+    provenance = artifact.provenance or {}
+    if provenance.get("run_id"):
+        lineage["producer_run_id"] = provenance["run_id"]
+        if provenance.get("command"):
+            lineage["producer_command"] = provenance["command"]
+    record_run(
+        "serve",
+        {
+            "bench": bool(args.bench),
+            "bench_name": args.bench_name if args.bench else None,
+            "max_batch": args.max_batch,
+            "scale": args.scale,
+        },
+        env=_ledger_env(args),
+        registry=engine.metrics.registry,
+        outputs={"exit_code": code, "task": artifact.task},
+        lineage=lineage,
+        files=[args.trace] if args.trace else None,
+        duration_s=clock() - t0,
+    )
+    return code
 
 
 def _serve_work(args, engine, artifact, deadline_s, trace_sink) -> int:
@@ -948,7 +1362,7 @@ def _serve_work(args, engine, artifact, deadline_s, trace_sink) -> int:
     return 0
 
 
-def _run_profile(args, scale) -> int:
+def _cmd_profile(args, scale) -> int:
     """``repro profile``: wrap search/baseline in a ProfileSession."""
     trace_path = args.trace or f"trace-{args.target}-{args.dataset}.jsonl"
     data = load_dataset(args.dataset, seed=args.seed, scale=scale.dataset_scale)
@@ -988,6 +1402,20 @@ def _run_profile(args, scale) -> int:
     print(session.report(top=args.top))
     print()
     print(f"trace: {trace_path} ({session.duration:.1f}s profiled)")
+    config = {
+        "target": args.target, "dataset": args.dataset,
+        "layers": args.layers, "epsilon": args.epsilon, "scale": args.scale,
+    }
+    if args.target == "baseline":
+        config["name"] = args.name
+    record_run(
+        "profile",
+        config,
+        env=_ledger_env(args),
+        metrics=session.metric_scalars(),
+        files=[str(trace_path)],
+        duration_s=session.duration,
+    )
     return 0
 
 

@@ -25,6 +25,12 @@ the search-dynamics reports lean on. It has six parts —
   thread boundary) and the live telemetry surfaces: periodic
   :class:`MetricsSnapshotter` JSONL flushes and the Prometheus-style
   :class:`MetricsExporter` scrape endpoint;
+* :mod:`repro.obs.runs` + :mod:`repro.obs.runs_report` — the run
+  ledger: every CLI entry point appends a versioned provenance
+  manifest (deterministic content-derived id, config digest, env
+  fingerprint, metric summary, artifact lineage) to the append-only
+  history store, and ``repro runs list/show/diff/trend/gc`` renders
+  history tables and the cross-run trend gate over it;
 * :mod:`repro.obs.tape` + :mod:`repro.obs.health` +
   :mod:`repro.obs.memory` — the composable tape-hook chain and the PR-5
   health layer on top of it: NaN/Inf/overflow detection with full op
@@ -86,6 +92,25 @@ from repro.obs.memory import (
 from repro.obs.tape import active_tape_hooks, add_tape_hook, remove_tape_hook
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import SpanAggregate, aggregate_spans, format_table, hotspot_report
+from repro.obs.runs import (
+    MANIFEST_VERSION,
+    LedgerWarning,
+    RunLedger,
+    RunManifest,
+    build_manifest,
+    config_digest,
+    derive_run_id,
+    env_fingerprint,
+    record_run,
+)
+from repro.obs.runs_report import (
+    TrendVerdict,
+    evaluate_trend,
+    render_run_show,
+    render_runs_diff,
+    render_runs_list,
+    render_trend,
+)
 from repro.obs.search_report import render_diff, render_run
 from repro.obs.serve_report import load_request_trees, render_serve_report
 from repro.obs.search_telemetry import SearchTelemetry
@@ -148,4 +173,19 @@ __all__ = [
     "MetricsExporter",
     "load_request_trees",
     "render_serve_report",
+    "MANIFEST_VERSION",
+    "LedgerWarning",
+    "RunLedger",
+    "RunManifest",
+    "build_manifest",
+    "config_digest",
+    "derive_run_id",
+    "env_fingerprint",
+    "record_run",
+    "TrendVerdict",
+    "evaluate_trend",
+    "render_runs_list",
+    "render_run_show",
+    "render_runs_diff",
+    "render_trend",
 ]

@@ -57,6 +57,9 @@ __all__ = [
 _TOKEN_RE = re.compile(r"[._\-/\s]+")
 _LOWER_BETTER = frozenset(
     {"time", "loss", "seconds", "latency", "duration", "bytes", "memory",
+     # Millisecond-suffixed metrics (the run ledger's search.epoch_ms)
+     # are durations like any other.
+     "ms",
      # Percentile tokens: the serve stage gauges (serve.stage.<name>.p50_s)
      # name no other lower-is-better token, and a pNN of anything we
      # record is a duration.
@@ -64,14 +67,18 @@ _LOWER_BETTER = frozenset(
 )
 _HIGHER_BETTER = frozenset(
     {"score", "scores", "speedup", "accuracy", "acc", "f1", "auc", "hits",
-     "mrr", "rps", "throughput"}
+     "mrr", "rps", "throughput",
+     # Achieved kernel bandwidth (kernel.<name>.effective_gbps): higher
+     # is better, but it is bytes over wall-clock, so it takes the
+     # loose time tolerance below.
+     "gbps"}
 )
 # Higher-is-better metrics that are nevertheless ratios of wall-clock
 # measurements, so they inherit wall-clock noise and the looser
 # time tolerance. Requests/s from the serve bench is the same kind of
 # number as a speedup: direction is meaningful, magnitude is machine-
 # dependent.
-_WALL_CLOCK_RATIO = frozenset({"speedup", "rps", "throughput"})
+_WALL_CLOCK_RATIO = frozenset({"speedup", "rps", "throughput", "gbps"})
 
 
 def metric_direction(name: str) -> int:

@@ -128,3 +128,21 @@ class MetricsRegistry:
             instrument = self._instruments[name]
             groups[kind_key[type(instrument)]][name] = instrument.to_dict()
         return groups
+
+    def scalars(self) -> dict[str, float]:
+        """One scalar per instrument: counter/gauge value, histogram mean.
+
+        The flat name -> value view run manifests and trend queries
+        want; instruments that never observed a value are omitted.
+        """
+        flat: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            value = (
+                instrument.mean
+                if isinstance(instrument, Histogram)
+                else instrument.value
+            )
+            if value is not None:
+                flat[name] = float(value)
+        return flat

@@ -1,0 +1,375 @@
+"""Renderers and the trend gate for the run ledger (``repro runs``).
+
+The ``repro report bench`` gate is point-in-time: one fresh payload
+against one committed baseline. The trend gate here is its
+complement over *history*: for each watched metric it compares the
+trailing window of runs against the median of the older runs and
+flags drift in the bad direction — a single +50% spike gates through
+the window-of-1 check, a slow +10%-per-run creep gates through the
+wider windows that a point gate never sees. Direction comes from the
+same token heuristics as the bench gate
+(:func:`repro.obs.bench_gate.metric_direction`), so ``*time*``/
+``p99``-style metrics gate on increases and ``*score*``/``*gbps*``
+metrics on decreases; unrecognised names render but never gate.
+
+All functions here return strings — printing stays in the CLI (the
+``naked-print`` rule's contract).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from datetime import datetime, timezone
+
+from repro.obs.bench_gate import metric_direction
+from repro.obs.report import format_table
+from repro.obs.runs import RunManifest
+from repro.obs.search_report import _sparkline
+
+__all__ = [
+    "TrendVerdict",
+    "metric_series",
+    "evaluate_trend",
+    "render_trend",
+    "render_runs_list",
+    "render_run_show",
+    "render_runs_diff",
+]
+
+# Relative drift tolerated before the trailing window counts as
+# regressed/improved; wall-clock noise at smoke scale sits well below.
+DEFAULT_TOLERANCE = 0.25
+# Longest trailing window compared against the older history.
+DEFAULT_WINDOW = 3
+# Fewer points than this and drift is indistinguishable from noise.
+MIN_POINTS = 3
+
+
+def _when(t_wall: float | None) -> str:
+    if t_wall is None:
+        return "-"
+    stamp = datetime.fromtimestamp(float(t_wall), tz=timezone.utc)
+    return stamp.strftime("%Y-%m-%d %H:%M")
+
+
+def _num(value, digits: int = 4) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def metric_series(
+    manifests: list[RunManifest],
+    metric: str,
+    command: str | None = None,
+) -> list[float]:
+    """The metric's values in append order, skipping runs without it."""
+    return [
+        float(m.metrics[metric])
+        for m in manifests
+        if metric in m.metrics and (command is None or m.command == command)
+    ]
+
+
+@dataclasses.dataclass
+class TrendVerdict:
+    """One metric's drift assessment over the ledger."""
+
+    metric: str
+    status: str  # regression | improved | ok | insufficient | no-data | untracked
+    points: int
+    direction: int
+    values: list[float] = dataclasses.field(default_factory=list)
+    baseline: float | None = None
+    drift: float | None = None
+    window: int | None = None
+
+    @property
+    def gates(self) -> bool:
+        return self.status in ("regression", "no-data")
+
+
+def evaluate_trend(
+    values: list[float],
+    metric: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+) -> TrendVerdict:
+    """Compare trailing windows against the median of the older runs.
+
+    For each window size ``w`` in ``1..window`` the mean of the last
+    ``w`` values is compared against the median of everything before
+    them; the verdict is the worst drift found. ``w=1`` catches a
+    fresh spike, the larger windows catch sustained creep that no
+    single point trips.
+    """
+    direction = metric_direction(metric)
+    verdict = TrendVerdict(
+        metric=metric, status="ok", points=len(values),
+        direction=direction, values=list(values),
+    )
+    if not values:
+        verdict.status = "no-data"
+        return verdict
+    if direction == 0:
+        verdict.status = "untracked"
+        return verdict
+    if len(values) < MIN_POINTS:
+        verdict.status = "insufficient"
+        return verdict
+    worst = best = None  # (signed goodness, drift, baseline, w)
+    for w in range(1, min(window, len(values) - 2) + 1):
+        base = values[:-w]
+        baseline = statistics.median(base)
+        if abs(baseline) < 1e-12:
+            continue
+        recent = sum(values[-w:]) / w
+        drift = (recent - baseline) / abs(baseline)
+        goodness = drift * direction
+        entry = (goodness, drift, baseline, w)
+        if worst is None or goodness < worst[0]:
+            worst = entry
+        if best is None or goodness > best[0]:
+            best = entry
+    if worst is None:
+        verdict.status = "insufficient"
+        return verdict
+    if worst[0] < -tolerance:
+        verdict.status = "regression"
+        __, verdict.drift, verdict.baseline, verdict.window = worst
+    elif best[0] > tolerance:
+        verdict.status = "improved"
+        __, verdict.drift, verdict.baseline, verdict.window = best
+    else:
+        __, verdict.drift, verdict.baseline, verdict.window = worst
+    return verdict
+
+
+def render_trend(
+    manifests: list[RunManifest],
+    metrics: list[str],
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    last: int | None = None,
+    command: str | None = None,
+) -> tuple[str, bool]:
+    """The ``repro runs trend`` table; returns ``(text, gate_failed)``."""
+    rows = []
+    failed = False
+    for metric in metrics:
+        values = metric_series(manifests, metric, command=command)
+        if last:
+            values = values[-last:]
+        verdict = evaluate_trend(
+            values, metric, tolerance=tolerance, window=window
+        )
+        failed = failed or verdict.gates
+        drift = (
+            f"{100.0 * verdict.drift:+.1f}%" if verdict.drift is not None
+            else "-"
+        )
+        arrow = {1: "up", -1: "down", 0: "?"}[verdict.direction]
+        rows.append(
+            [
+                metric,
+                str(verdict.points),
+                arrow,
+                _sparkline(verdict.values) or "-",
+                _num(verdict.baseline),
+                _num(verdict.values[-1] if verdict.values else None),
+                drift,
+                verdict.status.upper()
+                if verdict.status == "regression" else verdict.status,
+            ]
+        )
+    header = f"== Run trends (tolerance {tolerance:.0%}, window {window}) =="
+    lines = [header]
+    lines.extend(
+        format_table(
+            ["metric", "n", "good", "trend", "baseline", "last", "drift",
+             "status"],
+            rows,
+        )
+    )
+    if failed:
+        lines.append("")
+        lines.append(
+            "GATE: sustained drift beyond tolerance (or a gated metric "
+            "with no history)"
+        )
+    return "\n".join(lines), failed
+
+
+# ---------------------------------------------------------------------
+# list / show / diff
+# ---------------------------------------------------------------------
+def render_runs_list(
+    manifests: list[RunManifest],
+    last: int | None = None,
+    command: str | None = None,
+) -> str:
+    """The ``repro runs list`` history table."""
+    entries = list(enumerate(manifests))
+    if command is not None:
+        entries = [(seq, m) for seq, m in entries if m.command == command]
+    total = len(entries)
+    if last:
+        entries = entries[-last:]
+    lines = [f"== Run ledger: {total} run(s) =="]
+    if not entries:
+        lines.append("(empty — run any repro command to record a manifest)")
+        return "\n".join(lines)
+    rows = []
+    for seq, manifest in entries:
+        rows.append(
+            [
+                str(seq),
+                manifest.run_id,
+                manifest.command,
+                str(manifest.env.get("scale") or "-"),
+                str(manifest.env.get("seed")
+                    if manifest.env.get("seed") is not None else "-"),
+                str(manifest.env.get("git_rev") or "-"),
+                _when(manifest.t_wall),
+                str(len(manifest.metrics)),
+            ]
+        )
+    lines.extend(
+        format_table(
+            ["seq", "run_id", "command", "scale", "seed", "git", "when",
+             "metrics"],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_run_show(
+    manifest: RunManifest,
+    seq: int | None = None,
+    producer: RunManifest | None = None,
+) -> str:
+    """One manifest, fully expanded (``repro runs show <ref>``).
+
+    ``producer`` is the resolved lineage parent, when the manifest
+    points at one and the ledger still holds it.
+    """
+    title = f"== Run {manifest.run_id}"
+    if seq is not None:
+        title += f" (seq {seq})"
+    title += f": {manifest.command} =="
+    lines = [title]
+    lines.append(f"recorded:      {_when(manifest.t_wall)}")
+    if manifest.duration_s is not None:
+        lines.append(f"duration:      {manifest.duration_s:.2f}s")
+    lines.append(f"config digest: {manifest.config_digest}")
+    for key in sorted(manifest.config):
+        lines.append(f"  {key}: {manifest.config[key]!r}")
+    env = manifest.env
+    lines.append(
+        "env:           scale={scale} seed={seed} kernels={kernels} "
+        "workers={workers} git={git} py={py}".format(
+            scale=env.get("scale"), seed=env.get("seed"),
+            kernels=env.get("kernels"), workers=env.get("workers"),
+            git=env.get("git_rev") or "-", py=env.get("python") or "-",
+        )
+    )
+    if manifest.outputs:
+        lines.append("outputs:")
+        for key in sorted(manifest.outputs):
+            lines.append(f"  {key}: {manifest.outputs[key]!r}")
+    if manifest.metrics:
+        lines.append("metrics:")
+        rows = [
+            [name, f"{manifest.metrics[name]:.6g}"]
+            for name in sorted(manifest.metrics)
+        ]
+        lines.extend(format_table(["name", "value"], rows))
+    if manifest.artifacts:
+        lines.append("artifacts:")
+        rows = [
+            [
+                str(entry.get("role", "-")),
+                str(entry.get("path", "-")),
+                str(entry.get("content_hash", "-"))[:16],
+            ]
+            for entry in manifest.artifacts
+        ]
+        lines.extend(format_table(["role", "path", "content_hash"], rows))
+    if manifest.files:
+        lines.append("files:")
+        for path in manifest.files:
+            lines.append(f"  {path}")
+    if manifest.children:
+        lines.append(f"children: {len(manifest.children)} job(s)")
+        keys = sorted({key for child in manifest.children for key in child})
+        rows = [
+            [str(child.get(key, "-")) for key in keys]
+            for child in manifest.children
+        ]
+        lines.extend(format_table(keys, rows))
+    if manifest.lineage:
+        lines.append("lineage:")
+        for key in sorted(manifest.lineage):
+            lines.append(f"  {key}: {manifest.lineage[key]}")
+        producer_id = manifest.lineage.get("producer_run_id")
+        if producer is not None:
+            lines.append(
+                f"  -> produced by {producer.run_id} "
+                f"({producer.command}, config {producer.config_digest})"
+            )
+        elif producer_id:
+            lines.append(
+                f"  -> producer {producer_id} not found in this ledger"
+            )
+    return "\n".join(lines)
+
+
+def render_runs_diff(
+    a: RunManifest, b: RunManifest, top: int = 12
+) -> str:
+    """Two manifests compared: env drift and shared-metric deltas."""
+    lines = [f"== Run diff: {a.run_id} ({a.command}) vs "
+             f"{b.run_id} ({b.command}) =="]
+    if a.config_digest == b.config_digest:
+        lines.append(f"config: identical ({a.config_digest})")
+    else:
+        lines.append(
+            f"config: DIFFERS ({a.config_digest} vs {b.config_digest})"
+        )
+        keys = sorted(set(a.config) | set(b.config))
+        for key in keys:
+            va, vb = a.config.get(key), b.config.get(key)
+            if va != vb:
+                lines.append(f"  {key}: {va!r} -> {vb!r}")
+    env_keys = sorted(set(a.env) | set(b.env))
+    env_diffs = [
+        f"  {key}: {a.env.get(key)!r} -> {b.env.get(key)!r}"
+        for key in env_keys
+        if a.env.get(key) != b.env.get(key)
+    ]
+    if env_diffs:
+        lines.append("env drift:")
+        lines.extend(env_diffs)
+    shared = sorted(set(a.metrics) & set(b.metrics))
+    if shared:
+        shared.sort(
+            key=lambda name: -abs(b.metrics[name] - a.metrics[name])
+        )
+        rows = []
+        for name in shared[:top]:
+            va, vb = a.metrics[name], b.metrics[name]
+            delta = vb - va
+            pct = f"{100.0 * delta / abs(va):+.1f}%" if abs(va) > 1e-12 else "n/a"
+            rows.append(
+                [name, f"{va:.6g}", f"{vb:.6g}", f"{delta:+.6g}", pct]
+            )
+        lines.append("")
+        lines.append("metric deltas (b - a):")
+        lines.extend(format_table(["metric", "a", "b", "delta", "pct"], rows))
+    only_a = sorted(set(a.metrics) - set(b.metrics))
+    only_b = sorted(set(b.metrics) - set(a.metrics))
+    if only_a:
+        lines.append(f"only in a: {', '.join(only_a[:8])}")
+    if only_b:
+        lines.append(f"only in b: {', '.join(only_b[:8])}")
+    return "\n".join(lines)

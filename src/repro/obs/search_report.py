@@ -191,6 +191,10 @@ def _render_search_section(run: SearchRun, index: int) -> list[str]:
         lines.append("")
         lines.append("per-edge entropy (nats):")
         lines.extend(format_table(["edge", "first", "last", "trend"], rows))
+        collapse_lines = _entropy_collapse_lines(run)
+        if collapse_lines:
+            lines.append("")
+            lines.extend(collapse_lines)
 
     lines.append("")
     if run.flips:
@@ -222,6 +226,76 @@ def _render_search_section(run: SearchRun, index: int) -> list[str]:
     if grad_lines:
         lines.append("")
         lines.extend(grad_lines)
+    return lines
+
+
+# Entropy-collapse detection (the DARTS failure mode): an edge whose
+# alpha entropy drops to (and stays at) near-zero in the first half of
+# the search has frozen its argmax long before the supernet weights
+# converged — exactly the premature-commitment pathology SANE's
+# smoother mixture dynamics are supposed to avoid. An edge counts as
+# collapsed once its entropy sits at or below
+# max(_COLLAPSE_FLOOR, _COLLAPSE_FRAC * initial) for the rest of the
+# run; "early" means that happened before _EARLY_FRAC of the snapshots.
+_COLLAPSE_FLOOR = 0.05
+_COLLAPSE_FRAC = 0.1
+_EARLY_FRAC = 0.5
+
+
+def _collapse_index(series: list[float]) -> int | None:
+    """First snapshot index from which entropy stays saturated, if any."""
+    if len(series) < 2:
+        return None
+    threshold = max(_COLLAPSE_FLOOR, _COLLAPSE_FRAC * series[0])
+    index = None
+    for position, value in enumerate(series):
+        if value <= threshold:
+            if index is None:
+                index = position
+        else:
+            index = None
+    return index
+
+
+def _entropy_collapse_lines(run: SearchRun) -> list[str]:
+    """The entropy-collapse section of one search's dashboard."""
+    rows = []
+    tracked = 0
+    for edge in sorted(run.entropy, key=_edge_sort_key):
+        series = run.entropy[edge]
+        if len(series) < 2:
+            continue
+        tracked += 1
+        index = _collapse_index(series)
+        if index is None:
+            continue
+        frac = index / (len(series) - 1)
+        if frac >= _EARLY_FRAC:
+            continue
+        rows.append(
+            [
+                edge,
+                f"{index}/{len(series) - 1}",
+                f"{100.0 * frac:.0f}%",
+                _num(series[0]),
+                _num(series[-1]),
+            ]
+        )
+    if not tracked:
+        return []
+    if not rows:
+        return [
+            "entropy collapse: none before 50% of the search (mixtures "
+            "stayed soft — SANE-like dynamics, not the DARTS failure mode)"
+        ]
+    lines = [
+        f"entropy collapse: {len(rows)}/{tracked} edge(s) saturated before "
+        "50% of the search (DARTS-style premature argmax; SANE expects "
+        "soft mixtures until late)"
+    ]
+    lines.extend(
+        format_table(["edge", "collapse@", "frac", "first", "last"], rows)
+    )
     return lines
 
 
@@ -344,7 +418,54 @@ def render_run(path: str | Path) -> str:
     for index, run in enumerate(runs, start=1):
         lines.append("")
         lines.extend(_render_search_section(run, index))
+    pool_lines = _pool_utilization_lines(event_records)
+    if pool_lines:
+        lines.append("")
+        lines.extend(pool_lines)
     return "\n".join(lines)
+
+
+def _pool_utilization_lines(event_records: list[dict]) -> list[str]:
+    """Per-worker utilization table from ``pool_utilization`` events.
+
+    The pool emits one event per job wave; this aggregates across
+    waves — tasks summed, busy fraction averaged — so sweeps and
+    multi-wave searches render one table. Only constants are emitted
+    on the in-process path, so recorded seeded dashboards stay
+    byte-identical.
+    """
+    waves = [
+        r.get("data", {})
+        for r in event_records
+        if r["event"] == "pool_utilization"
+    ]
+    if not waves:
+        return []
+    busy: dict[str, float] = {}
+    seen: dict[str, int] = {}
+    tasks: dict[str, int] = {}
+    for wave in waves:
+        for wid, stats in (wave.get("per_worker") or {}).items():
+            busy[wid] = busy.get(wid, 0.0) + float(stats.get("busy_frac", 0.0))
+            seen[wid] = seen.get(wid, 0) + 1
+            tasks[wid] = tasks.get(wid, 0) + int(stats.get("tasks", 0))
+    utilizations = [float(w.get("utilization", 0.0)) for w in waves]
+    overall = sum(utilizations) / len(utilizations)
+    lines = [
+        f"worker pool utilization: {len(waves)} wave(s), "
+        f"mean utilization {overall:.2f}"
+    ]
+    rows = [
+        [
+            f"worker-{wid}",
+            str(tasks.get(wid, 0)),
+            f"{busy[wid] / max(1, seen[wid]):.2f}",
+        ]
+        for wid in sorted(busy, key=lambda w: int(w) if w.isdigit() else 0)
+    ]
+    if rows:
+        lines.extend(format_table(["worker", "tasks", "busy_frac"], rows))
+    return lines
 
 
 # ---------------------------------------------------------------------

@@ -124,6 +124,18 @@ class ProfileSession:
         """Wall time of the profiled block (root span duration)."""
         return self._root.duration if self._root is not None else 0.0
 
+    def metric_scalars(self) -> dict[str, float]:
+        """Manifest-ready flat view of the session's registry.
+
+        What ``repro profile`` hands the run ledger: every instrument
+        collapsed to one scalar, plus the profiled wall time under
+        ``profile.duration_s``.
+        """
+        scalars = self.metrics.scalars()
+        if self.duration:
+            scalars["profile.duration_s"] = float(self.duration)
+        return scalars
+
     def report(self, top: int = 10) -> str:
         """Render the hotspot report for everything collected so far."""
         text = hotspot_report(

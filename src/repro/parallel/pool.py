@@ -32,9 +32,12 @@ bench registry to fold it into a ``BENCH_*.json`` payload):
 ``parallel.jobs`` / ``parallel.retries`` / ``parallel.crashes`` /
 ``parallel.timeouts`` counters, ``parallel.workers`` /
 ``parallel.queue_depth`` / ``parallel.utilization`` /
-``parallel.straggler_s`` gauges. Per-job span trees recorded in the
-workers are replayed under ``worker-<i>`` roots via
-:meth:`Tracer.adopt`.
+``parallel.straggler_s`` gauges, plus per-worker utilization:
+``parallel.worker.<i>.busy_frac`` gauges and
+``parallel.worker.<i>.tasks`` counters, mirrored into a
+``pool_utilization`` telemetry event per batch (rendered by ``repro
+report run``). Per-job span trees recorded in the workers are
+replayed under ``worker-<i>`` roots via :meth:`Tracer.adopt`.
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ import queue as queue_module
 
 from repro.autograd import kernels
 from repro.obs import MetricsRegistry, get_tracer
+from repro.obs import events
 from repro.parallel.jobs import (
     JobDispatchError,
     JobError,
@@ -118,6 +122,11 @@ class WorkerPool:
         depth.set(0)
         self.metrics.gauge("parallel.utilization").set(1.0)
         self.metrics.gauge("parallel.straggler_s").set(0.0)
+        # Pseudo-worker 0: the in-process path is one always-busy lane,
+        # so the per-worker view stays uniform across worker counts.
+        self._publish_worker_stats(
+            {0: 1.0}, {0: len(ordered)}, utilization=1.0
+        )
         return [results[job.job_id] for job in jobs]
 
     # ------------------------------------------------------------------
@@ -141,6 +150,8 @@ class WorkerPool:
         results: dict[int, object] = {}
         finish_times: list[float] = []
         busy_s = 0.0
+        worker_busy: dict[int, float] = {}
+        worker_tasks: dict[int, int] = {}
         idle_polls = 0
         t_run = clock()
 
@@ -184,8 +195,15 @@ class WorkerPool:
                         pending.discard(job_id)
                         finish_times.append(clock())
                         self.metrics.counter("parallel.jobs").inc()
-                        busy_s += self._adopt_spans(
+                        job_busy = self._adopt_spans(
                             worker_id, by_id[job_id], records
+                        )
+                        busy_s += job_busy
+                        worker_busy[worker_id] = (
+                            worker_busy.get(worker_id, 0.0) + job_busy
+                        )
+                        worker_tasks[worker_id] = (
+                            worker_tasks.get(worker_id, 0) + 1
                         )
                 elif kind == "error":
                     __, __, attempt, worker_id, etype, msg, tb = message
@@ -243,16 +261,53 @@ class WorkerPool:
                         fail(WorkerCrashError(job_id, by_id[job_id].tag, None))
 
         wall = max(clock() - t_run, 1e-9)
-        self.metrics.gauge("parallel.utilization").set(
-            min(1.0, busy_s / (self.workers * wall))
-        )
+        utilization = min(1.0, busy_s / (self.workers * wall))
+        self.metrics.gauge("parallel.utilization").set(utilization)
         straggler = 0.0
         if len(finish_times) >= 2:
             tail = sorted(finish_times)[-2:]
             straggler = tail[1] - tail[0]
         self.metrics.gauge("parallel.straggler_s").set(straggler)
         depth.set(0)
+        self._publish_worker_stats(
+            {
+                wid: min(1.0, worker_busy.get(wid, 0.0) / wall)
+                for wid in set(worker_busy) | set(worker_tasks)
+            },
+            worker_tasks,
+            utilization=utilization,
+        )
         return [results[job.job_id] for job in jobs]
+
+    # ------------------------------------------------------------------
+    def _publish_worker_stats(
+        self,
+        busy_frac: dict[int, float],
+        tasks: dict[int, int],
+        utilization: float,
+    ) -> None:
+        """Per-worker gauges + the ``pool_utilization`` event.
+
+        ``parallel.worker.<i>.busy_frac`` is last-batch (gauge);
+        ``parallel.worker.<i>.tasks`` accumulates across batches
+        (counter) — sweep manifests fold both in, and ``repro report
+        run`` renders the per-worker table when the event stream was
+        recorded. Emitted values in the in-process path are constants,
+        so byte-identical seeded dashboards stay byte-identical.
+        """
+        per_worker = {}
+        for wid in sorted(set(busy_frac) | set(tasks)):
+            frac = float(busy_frac.get(wid, 0.0))
+            count = int(tasks.get(wid, 0))
+            self.metrics.gauge(f"parallel.worker.{wid}.busy_frac").set(frac)
+            self.metrics.counter(f"parallel.worker.{wid}.tasks").inc(count)
+            per_worker[str(wid)] = {"busy_frac": frac, "tasks": count}
+        events.emit(
+            "pool_utilization",
+            workers=max(1, self.workers),
+            utilization=float(utilization),
+            per_worker=per_worker,
+        )
 
     # ------------------------------------------------------------------
     def _adopt_spans(self, worker_id: int, job: SearchJob, records) -> float:

@@ -13,7 +13,11 @@ trained model without re-running search or training:
 * the trained **weights** (float64, base64 of the raw little-endian
   bytes — bit-exact round-trip),
 * a **format version** and a **content hash** (sha256 over the
-  canonical JSON of everything else; verified on load).
+  canonical JSON of everything else; verified on load),
+* optional **provenance** — the run-ledger id of the ``repro export``
+  run that produced the bundle, so serving can resolve its lineage
+  back to the producing search (absent from pre-ledger artifacts;
+  hash-covered when present).
 
 Unknown versions and hash mismatches raise :class:`ArtifactError`
 instead of producing a silently wrong model.
@@ -94,6 +98,11 @@ class ModelArtifact:
     weights: dict[str, np.ndarray]
     genotype: dict | None = None
     training: dict = dataclasses.field(default_factory=dict)
+    # Run-ledger lineage: {"run_id": ..., "command": ..., ...} of the
+    # producing `repro export` run. Optional and schema-compatible —
+    # the key is simply absent from pre-ledger payloads, and when
+    # present it is covered by the content hash like everything else.
+    provenance: dict | None = None
     version: int = ARTIFACT_VERSION
 
     def __post_init__(self):
@@ -120,6 +129,8 @@ class ModelArtifact:
                 for name, value in sorted(self.weights.items())
             },
         }
+        if self.provenance is not None:
+            body["provenance"] = self.provenance
         body["content_hash"] = _content_hash(body)
         return body
 
@@ -150,6 +161,7 @@ class ModelArtifact:
                     name: _decode_array(record)
                     for name, record in payload["weights"].items()
                 },
+                provenance=payload.get("provenance"),
                 version=version,
             )
         except KeyError as exc:

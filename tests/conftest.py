@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,22 @@ from repro.graph.data import Graph, MultiGraphDataset
 from repro.graph.datasets import transductive_split
 from repro.graph.generators import citation_graph, community_multilabel_graph
 from repro.gnn.common import GraphCache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_history(tmp_path_factory):
+    """Point the run ledger at a per-session temp dir.
+
+    Tests exercise real CLI entry points, every one of which appends a
+    run manifest; without this the suite would pollute the checkout's
+    ``benchmarks/history/``. Session-scoped (and setdefault, so an
+    explicit override from the environment wins) because class-scoped
+    fixtures that call ``main()`` run before any function-scoped
+    monkeypatch could.
+    """
+    history = tmp_path_factory.mktemp("run-history")
+    os.environ.setdefault("REPRO_HISTORY_DIR", str(history))
+    yield
 
 
 @pytest.fixture

@@ -103,6 +103,109 @@ class TestRenderRun:
         assert "(no search_start events recorded)" in text
 
 
+class TestEntropyCollapseSection:
+    def _run_with_entropy(self, **entropy):
+        from repro.obs.search_report import SearchRun
+
+        return SearchRun(entropy=entropy)
+
+    def test_collapse_index_requires_saturation_to_the_end(self):
+        from repro.obs.search_report import _collapse_index
+
+        # Dips below threshold then recovers: never collapsed.
+        assert _collapse_index([1.0, 0.01, 0.9, 0.8]) is None
+        # Saturates at snapshot 1 and stays: collapsed there.
+        assert _collapse_index([1.0, 0.01, 0.02, 0.0]) == 1
+        assert _collapse_index([1.0]) is None
+        # Soft mixture throughout: no collapse.
+        assert _collapse_index([1.0, 0.9, 0.8, 0.7]) is None
+
+    def test_early_collapse_flags_darts_failure_mode(self):
+        from repro.obs.search_report import _entropy_collapse_lines
+
+        run = self._run_with_entropy(
+            **{
+                "node/0": [1.0, 0.01, 0.0, 0.0, 0.0],  # collapses at 25%
+                "node/1": [1.0, 0.9, 0.8, 0.7, 0.6],   # stays soft
+            }
+        )
+        lines = _entropy_collapse_lines(run)
+        assert "1/2 edge(s) saturated before 50%" in lines[0]
+        assert "DARTS-style premature argmax" in lines[0]
+        body = "\n".join(lines)
+        assert "node/0" in body and "node/1" not in body
+
+    def test_late_collapse_is_sane_like(self):
+        from repro.obs.search_report import _entropy_collapse_lines
+
+        run = self._run_with_entropy(
+            **{"node/0": [1.0, 0.9, 0.8, 0.02, 0.0]}  # collapses at 75%
+        )
+        lines = _entropy_collapse_lines(run)
+        assert lines == [
+            "entropy collapse: none before 50% of the search (mixtures "
+            "stayed soft — SANE-like dynamics, not the DARTS failure mode)"
+        ]
+
+    def test_no_tracked_edges_renders_nothing(self):
+        from repro.obs.search_report import _entropy_collapse_lines
+
+        assert _entropy_collapse_lines(self._run_with_entropy()) == []
+
+    def test_recorded_search_renders_the_section(self, tiny_graph, tmp_path):
+        events = tmp_path / "events.jsonl"
+        _record_search(events, seed=0, tiny_graph=tiny_graph)
+        out = render_run(events)
+        assert "entropy collapse:" in out
+
+
+class TestPoolUtilizationSection:
+    def _write_events(self, path, waves):
+        from repro.obs import events as events_mod
+
+        recorder = events_mod.EventRecorder(path, label="pool")
+        recorder.emit("search_start", meta={})
+        for wave in waves:
+            recorder.emit("pool_utilization", **wave)
+        recorder.emit("search_end")
+        recorder.close()
+
+    def test_waves_aggregate_into_one_table(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        self._write_events(
+            events,
+            [
+                {
+                    "workers": 2,
+                    "utilization": 0.5,
+                    "per_worker": {
+                        "0": {"busy_frac": 0.5, "tasks": 2},
+                        "1": {"busy_frac": 0.5, "tasks": 1},
+                    },
+                },
+                {
+                    "workers": 2,
+                    "utilization": 1.0,
+                    "per_worker": {
+                        "0": {"busy_frac": 1.0, "tasks": 3},
+                    },
+                },
+            ],
+        )
+        out = render_run(events)
+        assert "worker pool utilization: 2 wave(s), mean utilization 0.75" in out
+        assert "worker-0" in out and "worker-1" in out
+        # tasks summed across waves; busy_frac averaged over appearances.
+        lines = [l for l in out.splitlines() if "worker-0" in l]
+        assert "5" in lines[0] and "0.75" in lines[0]
+
+    def test_no_pool_events_no_section(self, tiny_graph, tmp_path):
+        events = tmp_path / "events.jsonl"
+        _record_search(events, seed=0, tiny_graph=tiny_graph)
+        # The in-process searcher itself runs no pool here.
+        assert "worker pool utilization" not in render_run(events)
+
+
 class TestGradHealthSection:
     def _record_monitored(self, path, tiny_graph, dead_op_eps=1e-6):
         with record_events(path, label="search:test", clock=FakeClock(0.25)):

@@ -83,6 +83,35 @@ class TestInlineMode:
         assert metric(metrics, "parallel.utilization") == 1.0
         assert metric(metrics, "parallel.queue_depth") == 0
 
+    def test_inline_per_worker_gauges_are_deterministic(self):
+        # The in-process path is one always-busy pseudo-worker; its
+        # stats are constants so seeded payloads stay byte-identical.
+        metrics = MetricsRegistry()
+        pool = WorkerPool(workers=0, metrics=metrics)
+        pool.run(echo_jobs([1, 2, 3]))
+        assert metric(metrics, "parallel.worker.0.busy_frac") == 1.0
+        assert metric(metrics, "parallel.worker.0.tasks") == 3
+        pool.run(echo_jobs([4]))
+        # The tasks counter accumulates across batches.
+        assert metric(metrics, "parallel.worker.0.tasks") == 4
+        assert metric(metrics, "parallel.worker.0.busy_frac") == 1.0
+
+    def test_inline_run_emits_pool_utilization_event(self):
+        from repro.obs import events as events_mod
+
+        recorder = events_mod.EventRecorder(label="pool-test")
+        events_mod.install(recorder)
+        try:
+            WorkerPool(workers=0).run(echo_jobs([1, 2]))
+        finally:
+            events_mod.uninstall(recorder)
+        pool_events = recorder.events("pool_utilization")
+        assert len(pool_events) == 1
+        payload = pool_events[0]["data"]
+        assert payload["workers"] == 1
+        assert payload["utilization"] == 1.0
+        assert payload["per_worker"] == {"0": {"busy_frac": 1.0, "tasks": 2}}
+
 
 class TestParallelMode:
     def test_merge_is_deterministic_and_complete(self):
